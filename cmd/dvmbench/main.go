@@ -1,0 +1,54 @@
+// Command dvmbench regenerates every experiment in DESIGN.md's
+// per-experiment index (E1–E9) and prints the result tables that
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	dvmbench            # run all experiments
+//	dvmbench -exp e4    # run one experiment
+//	dvmbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dvm/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment (e1..e9); empty runs all")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	exps := bench.All()
+	if *list {
+		for _, e := range exps {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	ran := 0
+	for _, e := range exps {
+		if *exp != "" && !strings.EqualFold(*exp, e.ID) {
+			continue
+		}
+		start := time.Now()
+		rep, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment named %q; try -list\n", *exp)
+		os.Exit(1)
+	}
+}

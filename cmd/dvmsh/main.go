@@ -1,0 +1,133 @@
+// Command dvmsh is an interactive SQL shell over the deferred view
+// maintenance engine. Statements end with ';'. Besides the usual DDL/DML
+// it supports the maintenance statements of the paper's Figure 3:
+//
+//	CREATE MATERIALIZED VIEW v REFRESH DEFERRED [LOGGED|DIFFERENTIAL|COMBINED [MIN]] AS SELECT ...
+//	CREATE MATERIALIZED VIEW v REFRESH IMMEDIATE AS SELECT ...
+//	REFRESH v; PROPAGATE v; PARTIAL REFRESH v; RECOMPUTE v; CHECK INVARIANT v;
+//
+// A file of statements can be piped on stdin, or passed with -f.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dvm/internal/sql"
+)
+
+func main() {
+	file := flag.String("f", "", "execute statements from this file, then exit")
+	load := flag.String("load", "", "restore an engine snapshot before starting")
+	save := flag.String("save", "", "write an engine snapshot on clean exit")
+	flag.Parse()
+
+	engine := sql.NewEngine()
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		engine, err = sql.LoadEngine(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "load:", err)
+			os.Exit(1)
+		}
+	}
+	saveAndExit := func(code int) {
+		if *save != "" {
+			f, err := os.Create(*save)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := engine.SaveTo(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "save:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		os.Exit(code)
+	}
+
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results, err := engine.ExecScript(string(data))
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		saveAndExit(0)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("dvm shell — deferred view maintenance (SIGMOD '96). End statements with ';'.")
+	}
+	var buf strings.Builder
+	prompt(interactive, buf.Len() > 0)
+	for in.Scan() {
+		line := in.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		text := strings.TrimSpace(buf.String())
+		if text == "" {
+			prompt(interactive, false)
+			continue
+		}
+		if text == "quit" || text == "exit" {
+			saveAndExit(0)
+		}
+		if !strings.HasSuffix(text, ";") {
+			prompt(interactive, true)
+			continue
+		}
+		buf.Reset()
+		results, err := engine.ExecScript(text)
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		prompt(interactive, false)
+	}
+	saveAndExit(0)
+}
+
+func prompt(interactive, continuation bool) {
+	if !interactive {
+		return
+	}
+	if continuation {
+		fmt.Print("   ...> ")
+	} else {
+		fmt.Print("dvm> ")
+	}
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

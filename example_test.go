@@ -1,0 +1,79 @@
+package dvm_test
+
+import (
+	"fmt"
+	"log"
+
+	"dvm"
+)
+
+// ExampleNewEngine shows the SQL surface end to end: a deferred view
+// goes stale after an update and catches up on REFRESH.
+func ExampleNewEngine() {
+	e := dvm.NewEngine()
+	if _, err := e.ExecScript(`
+		CREATE TABLE sales (item STRING, qty INT);
+		CREATE MATERIALIZED VIEW big REFRESH DEFERRED COMBINED AS
+			SELECT s.item, s.qty FROM sales s WHERE s.qty > 1;
+		INSERT INTO sales VALUES ('apple', 3), ('pear', 1);
+	`); err != nil {
+		log.Fatal(err)
+	}
+	r, _ := e.Exec(`SELECT * FROM big`)
+	fmt.Println("before refresh:", r.Rows.Len(), "rows")
+	if _, err := e.Exec(`REFRESH big`); err != nil {
+		log.Fatal(err)
+	}
+	r, _ = e.Exec(`SELECT * FROM big`)
+	fmt.Println("after refresh: ", r.Rows.Len(), "rows")
+	// Output:
+	// before refresh: 0 rows
+	// after refresh:  1 rows
+}
+
+// ExampleNewManager shows the algebra-level API: define a Combined view,
+// run a transaction through makesafe, propagate, and partially refresh
+// (the paper's Policy 2 steps).
+func ExampleNewManager() {
+	db := dvm.NewDatabase()
+	sch := dvm.NewSchema(dvm.Col("x", dvm.TInt))
+	if _, err := db.Create("events", sch, dvm.External); err != nil {
+		log.Fatal(err)
+	}
+	def, err := dvm.NewSelect(dvm.Gt(dvm.A("x"), dvm.C(0)), dvm.NewBase("events", sch))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := dvm.NewManager(db)
+	if _, err := mgr.DefineView("pos", def, dvm.Combined); err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.Execute(dvm.Insert("events", dvm.BagOf(dvm.Row(5), dvm.Row(-5)))); err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.Propagate("pos"); err != nil { // no view downtime
+		log.Fatal(err)
+	}
+	if err := mgr.PartialRefresh("pos"); err != nil { // Policy 2
+		log.Fatal(err)
+	}
+	view, _ := mgr.Query("pos")
+	fmt.Println(view)
+	// Output:
+	// {[5]}
+}
+
+// ExampleSelfMaintainable classifies view definitions: select-project
+// views never need base-table access to maintain (§1.2 of the paper).
+func ExampleSelfMaintainable() {
+	sch := dvm.NewSchema(dvm.Col("x", dvm.TInt))
+	r := dvm.NewBase("R", sch)
+	s := dvm.NewBase("S", sch)
+	sp, _ := dvm.NewSelect(dvm.Gt(dvm.A("x"), dvm.C(0)), r)
+	diff, _ := dvm.NewMonus(r, s)
+	fmt.Println(dvm.SelfMaintainable(sp))
+	fmt.Println(dvm.SelfMaintainable(diff))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,117 @@
+// Statebug walks through the paper's Examples 1.2 and 1.3 step by step,
+// showing how the pre-update incremental algorithm produces wrong
+// answers when its queries are evaluated after the base tables have
+// already been modified — and how the post-update algorithm of Section 4
+// avoids the bug.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvm/internal/algebra"
+	"dvm/internal/bag"
+	"dvm/internal/delta"
+	"dvm/internal/schema"
+)
+
+func main() {
+	example12()
+	example13()
+}
+
+// example12: U(A) = Π_A(σ_{R.B=S.B}(R × S)), insert [a1,b2] into R and
+// [b2,c2] into S in one transaction.
+func example12() {
+	fmt.Println("=== Example 1.2: join view, wrong multiplicities ===")
+	rsch := schema.NewSchema(schema.Col("R.A", schema.TString), schema.Col("R.B", schema.TString))
+	ssch := schema.NewSchema(schema.Col("S.B", schema.TString), schema.Col("S.C", schema.TString))
+
+	pre := algebra.MapSource{
+		"R": bag.Of(schema.Row("a1", "b1")),
+		"S": bag.Of(schema.Row("b1", "c1"), schema.Row("b2", "c2")),
+	}
+	insR := bag.Of(schema.Row("a1", "b2"))
+	insS := bag.Of(schema.Row("b2", "c2"))
+	post := algebra.MapSource{
+		"R": bag.UnionAll(pre["R"], insR),
+		"S": bag.UnionAll(pre["S"], insS),
+	}
+
+	join, err := algebra.JoinOn(algebra.NewBase("R", rsch), algebra.NewBase("S", ssch),
+		algebra.Eq(algebra.A("R.B"), algebra.A("S.B")))
+	check(err)
+	q, err := algebra.NewProject([]string{"R.A"}, []string{"A"}, join)
+	check(err)
+
+	log_ := delta.ChangeSet{
+		"R": {Deleted: algebra.NewLiteral(rsch, bag.New()), Inserted: algebra.NewLiteral(rsch, insR)},
+		"S": {Deleted: algebra.NewLiteral(ssch, bag.New()), Inserted: algebra.NewLiteral(ssch, insS)},
+	}
+
+	muPre := eval(q, pre)
+	muPost := eval(q, post)
+	fmt.Printf("MU before txn: %s\nMU after txn:  %s  (net insert: %d copies)\n",
+		muPre, muPost, muPost.Len()-muPre.Len())
+
+	_, preAdd, err := delta.PreUpdate(log_, q)
+	check(err)
+	fmt.Printf("pre-update △MU evaluated PRE-state:    %s  ✓\n", eval(preAdd, pre))
+
+	_, naiveAdd, err := delta.NaivePostUpdate(log_, q)
+	check(err)
+	fmt.Printf("pre-update △MU evaluated POST-state:   %s  ← STATE BUG (4 copies)\n", eval(naiveAdd, post))
+
+	mvDel, mvAdd, err := delta.PostUpdate(log_, q)
+	check(err)
+	refreshed := bag.UnionAll(bag.Monus(muPre, eval(mvDel, post)), eval(mvAdd, post))
+	fmt.Printf("our post-update refresh:               %s  ✓\n\n", refreshed)
+}
+
+// example13: U = R − S (monus); move [b] from R into S.
+func example13() {
+	fmt.Println("=== Example 1.3: difference view, lost deletion ===")
+	sch := schema.NewSchema(schema.Col("x", schema.TString))
+	pre := algebra.MapSource{
+		"R": bag.Of(schema.Row("a"), schema.Row("b"), schema.Row("c")),
+		"S": bag.Of(schema.Row("c"), schema.Row("d")),
+	}
+	delR := bag.Of(schema.Row("b"))
+	insS := bag.Of(schema.Row("b"))
+	post := algebra.MapSource{
+		"R": bag.Monus(pre["R"], delR),
+		"S": bag.UnionAll(pre["S"], insS),
+	}
+	q, err := algebra.NewMonus(algebra.NewBase("R", sch), algebra.NewBase("S", sch))
+	check(err)
+	log_ := delta.ChangeSet{
+		"R": {Deleted: algebra.NewLiteral(sch, delR), Inserted: algebra.NewLiteral(sch, bag.New())},
+		"S": {Deleted: algebra.NewLiteral(sch, bag.New()), Inserted: algebra.NewLiteral(sch, insS)},
+	}
+
+	muPre := eval(q, pre)
+	muPost := eval(q, post)
+	fmt.Printf("MU before txn: %s\nMU after txn:  %s\n", muPre, muPost)
+
+	nDel, nAdd, err := delta.NaivePostUpdate(log_, q)
+	check(err)
+	naive := bag.UnionAll(bag.Monus(muPre, eval(nDel, post)), eval(nAdd, post))
+	fmt.Printf("naive post-state refresh keeps [b]:  %s  ← STATE BUG\n", naive)
+
+	oDel, oAdd, err := delta.PostUpdate(log_, q)
+	check(err)
+	ours := bag.UnionAll(bag.Monus(muPre, eval(oDel, post)), eval(oAdd, post))
+	fmt.Printf("our post-update refresh:             %s  ✓\n", ours)
+}
+
+func eval(e algebra.Expr, st algebra.MapSource) *bag.Bag {
+	b, err := algebra.Eval(e, st)
+	check(err)
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Warehouse shows the data-warehouse use case that motivated deferred
+// maintenance: many materialized views over shared base tables, bulk
+// loads from source systems, analysts querying the (possibly stale)
+// views, and an on-demand refresh before a reporting run — all through
+// the embedded SQL dialect.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvm/internal/sql"
+)
+
+func main() {
+	e := sql.NewEngine()
+	must := func(stmt string) *sql.Result {
+		r, err := e.Exec(stmt)
+		if err != nil {
+			log.Fatalf("%s\n-> %v", stmt, err)
+		}
+		return r
+	}
+
+	// Source-system tables.
+	must(`CREATE TABLE customer (custId INT, name STRING, region STRING, score STRING)`)
+	must(`CREATE TABLE sales (custId INT, itemNo INT, quantity INT, salesPrice FLOAT)`)
+	must(`CREATE TABLE returns (custId INT, itemNo INT, quantity INT)`)
+
+	must(`INSERT INTO customer VALUES
+		(1, 'acme', 'east', 'High'),
+		(2, 'blix', 'west', 'Low'),
+		(3, 'cogs', 'east', 'High'),
+		(4, 'dyna', 'west', 'High')`)
+	must(`INSERT INTO sales VALUES
+		(1, 100, 5, 9.99), (1, 101, 2, 4.50),
+		(2, 100, 1, 9.99), (3, 102, 7, 2.25),
+		(4, 103, 3, 19.00), (4, 100, 1, 9.99)`)
+	must(`INSERT INTO returns VALUES (1, 100, 1)`)
+
+	// Warehouse views under different maintenance regimes.
+	// High-value sales: the workhorse — combined scenario for fast
+	// refresh with cheap logging.
+	must(`CREATE MATERIALIZED VIEW hv_sales REFRESH DEFERRED COMBINED AS
+		SELECT c.custId, c.name, c.region, s.itemNo, s.quantity
+		FROM customer c, sales s
+		WHERE c.custId = s.custId AND c.score = 'High' AND s.quantity != 0`)
+
+	// East-region activity: plain logged scenario (rarely refreshed).
+	must(`CREATE MATERIALIZED VIEW east_sales REFRESH DEFERRED LOGGED AS
+		SELECT c.name, s.itemNo, s.quantity
+		FROM customer c, sales s
+		WHERE c.custId = s.custId AND c.region = 'east'`)
+
+	// Sales net of returns, per (customer, item): a difference view —
+	// exactly the class where the state bug bites naive implementations.
+	must(`CREATE MATERIALIZED VIEW net_activity REFRESH DEFERRED COMBINED MIN AS
+		SELECT s.custId, s.itemNo FROM sales s
+		MONUS
+		SELECT r.custId, r.itemNo FROM returns r`)
+
+	fmt.Println("== initial loads ==")
+	fmt.Println(must(`SELECT * FROM hv_sales`))
+	fmt.Println()
+
+	// Overnight feed: bulk updates from the stores.
+	fmt.Println("== overnight feed arrives (views stay stale; txns only log) ==")
+	must(`INSERT INTO sales VALUES (3, 104, 9, 1.10), (1, 100, 2, 9.99)`)
+	must(`INSERT INTO returns VALUES (4, 103, 1)`)
+	must(`DELETE FROM sales WHERE custId = 2`) // store 2's feed was bad; resent later
+	for _, v := range []string{"hv_sales", "east_sales", "net_activity"} {
+		must("CHECK INVARIANT " + v)
+	}
+	fmt.Println(must(`SELECT * FROM hv_sales WHERE itemNo = 104`).String() + "   <- stale: feed not visible yet")
+	fmt.Println()
+
+	// Background propagation keeps refresh cheap without touching views.
+	fmt.Println("== hourly propagation (no view downtime) ==")
+	must(`PROPAGATE hv_sales`)
+	must(`PROPAGATE net_activity`)
+	must(`CHECK INVARIANT hv_sales`)
+
+	// The morning reporting run refreshes on demand, then queries.
+	fmt.Println("== reporting run: on-demand refresh, then analytics ==")
+	must(`PARTIAL REFRESH hv_sales`) // applies the precomputed delta only
+	must(`REFRESH east_sales`)       // pays for the whole log at once
+	must(`REFRESH net_activity`)
+	fmt.Println(must(`SELECT * FROM hv_sales WHERE itemNo = 104`))
+	fmt.Println()
+	fmt.Println(must(`SELECT name, itemNo FROM east_sales`))
+	fmt.Println()
+	fmt.Println(must(`SELECT * FROM net_activity WHERE custId = 4`))
+	fmt.Println()
+
+	// Analysts aggregate over the refreshed views.
+	fmt.Println("== morning report: quantity by region (aggregating over the view) ==")
+	fmt.Println(must(`SELECT v.region, SUM(v.quantity) AS units, COUNT(*) AS line_items
+		FROM hv_sales v GROUP BY v.region`))
+	fmt.Println()
+
+	for _, v := range []string{"hv_sales", "east_sales", "net_activity"} {
+		must("CHECK INVARIANT " + v)
+	}
+	fmt.Println(must(`SHOW VIEWS`))
+	fmt.Println("\nAll invariants hold after the reporting run.")
+}

@@ -1,0 +1,3 @@
+module dvm
+
+go 1.22

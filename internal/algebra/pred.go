@@ -1,0 +1,246 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"dvm/internal/schema"
+)
+
+// Predicate is a quantifier-free predicate over a single tuple, the p of
+// σ_p in the paper's grammar.
+type Predicate interface {
+	// Bind resolves attribute names against sch, returning an evaluator.
+	Bind(sch *schema.Schema) (func(schema.Tuple) bool, error)
+	String() string
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Cmp compares two scalars. NULL compares using the total order of
+// schema.Value (NULL sorts first), keeping predicate logic two-valued as
+// the paper assumes.
+type Cmp struct {
+	Op   CmpOp
+	L, R Scalar
+}
+
+// Eq builds L = R.
+func Eq(l, r Scalar) Cmp { return Cmp{Op: EQ, L: l, R: r} }
+
+// Neq builds L != R.
+func Neq(l, r Scalar) Cmp { return Cmp{Op: NE, L: l, R: r} }
+
+// Lt builds L < R.
+func Lt(l, r Scalar) Cmp { return Cmp{Op: LT, L: l, R: r} }
+
+// Gt builds L > R.
+func Gt(l, r Scalar) Cmp { return Cmp{Op: GT, L: l, R: r} }
+
+// Bind implements Predicate.
+func (c Cmp) Bind(sch *schema.Schema) (func(schema.Tuple) bool, error) {
+	lf, _, err := c.L.bind(sch)
+	if err != nil {
+		return nil, err
+	}
+	rf, _, err := c.R.bind(sch)
+	if err != nil {
+		return nil, err
+	}
+	op := c.Op
+	return func(t schema.Tuple) bool {
+		r := lf(t).Compare(rf(t))
+		switch op {
+		case EQ:
+			return r == 0
+		case NE:
+			return r != 0
+		case LT:
+			return r < 0
+		case LE:
+			return r <= 0
+		case GT:
+			return r > 0
+		case GE:
+			return r >= 0
+		}
+		return false
+	}, nil
+}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// And is an n-ary conjunction.
+type And struct{ Preds []Predicate }
+
+// AndOf conjoins predicates; AndOf() is TRUE.
+func AndOf(ps ...Predicate) And { return And{Preds: ps} }
+
+// Bind implements Predicate.
+func (a And) Bind(sch *schema.Schema) (func(schema.Tuple) bool, error) {
+	fs := make([]func(schema.Tuple) bool, len(a.Preds))
+	for i, p := range a.Preds {
+		f, err := p.Bind(sch)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return func(t schema.Tuple) bool {
+		for _, f := range fs {
+			if !f(t) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func (a And) String() string {
+	if len(a.Preds) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(a.Preds))
+	for i, p := range a.Preds {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Or is an n-ary disjunction.
+type Or struct{ Preds []Predicate }
+
+// OrOf disjoins predicates; OrOf() is FALSE.
+func OrOf(ps ...Predicate) Or { return Or{Preds: ps} }
+
+// Bind implements Predicate.
+func (o Or) Bind(sch *schema.Schema) (func(schema.Tuple) bool, error) {
+	fs := make([]func(schema.Tuple) bool, len(o.Preds))
+	for i, p := range o.Preds {
+		f, err := p.Bind(sch)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return func(t schema.Tuple) bool {
+		for _, f := range fs {
+			if f(t) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+func (o Or) String() string {
+	if len(o.Preds) == 0 {
+		return "FALSE"
+	}
+	parts := make([]string, len(o.Preds))
+	for i, p := range o.Preds {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+// Not negates a predicate.
+type Not struct{ Pred Predicate }
+
+// NotOf negates p.
+func NotOf(p Predicate) Not { return Not{Pred: p} }
+
+// Bind implements Predicate.
+func (n Not) Bind(sch *schema.Schema) (func(schema.Tuple) bool, error) {
+	f, err := n.Pred.Bind(sch)
+	if err != nil {
+		return nil, err
+	}
+	return func(t schema.Tuple) bool { return !f(t) }, nil
+}
+
+func (n Not) String() string { return "NOT " + n.Pred.String() }
+
+// BoolLit is the TRUE/FALSE predicate.
+type BoolLit struct{ Value bool }
+
+// True and False are the constant predicates.
+var (
+	True  = BoolLit{Value: true}
+	False = BoolLit{Value: false}
+)
+
+// Bind implements Predicate.
+func (b BoolLit) Bind(*schema.Schema) (func(schema.Tuple) bool, error) {
+	v := b.Value
+	return func(schema.Tuple) bool { return v }, nil
+}
+
+func (b BoolLit) String() string {
+	if b.Value {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// equiPairs extracts attribute-equality conjuncts attr=attr from p.
+// Used by the evaluator to plan hash joins; returns nil when p is not a
+// pure conjunction containing such pairs.
+func equiPairs(p Predicate) (pairs [][2]string, rest []Predicate) {
+	switch q := p.(type) {
+	case Cmp:
+		if q.Op == EQ {
+			if l, ok := q.L.(Attr); ok {
+				if r, ok := q.R.(Attr); ok {
+					return [][2]string{{l.Name, r.Name}}, nil
+				}
+			}
+		}
+		return nil, []Predicate{p}
+	case And:
+		for _, sub := range q.Preds {
+			ps, rs := equiPairs(sub)
+			pairs = append(pairs, ps...)
+			rest = append(rest, rs...)
+		}
+		return pairs, rest
+	case BoolLit:
+		if q.Value {
+			return nil, nil
+		}
+		return nil, []Predicate{p}
+	default:
+		return nil, []Predicate{p}
+	}
+}

@@ -1,0 +1,136 @@
+package algebra
+
+import (
+	"testing"
+
+	"dvm/internal/schema"
+)
+
+func bindPred(t *testing.T, p Predicate, sc *schema.Schema) func(schema.Tuple) bool {
+	t.Helper()
+	f, err := p.Bind(sc)
+	if err != nil {
+		t.Fatalf("Bind(%s): %v", p, err)
+	}
+	return f
+}
+
+func TestCmpOps(t *testing.T) {
+	sc := sch2()
+	tu := schema.Row(5, 2.0)
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{Eq(A("a"), C(5)), true},
+		{Eq(A("a"), C(4)), false},
+		{Neq(A("a"), C(4)), true},
+		{Lt(A("a"), C(6)), true},
+		{Lt(A("a"), C(5)), false},
+		{Cmp{Op: LE, L: A("a"), R: C(5)}, true},
+		{Gt(A("a"), C(4)), true},
+		{Cmp{Op: GE, L: A("a"), R: C(5)}, true},
+		{Eq(A("a"), A("b")), false},
+		{Gt(A("a"), A("b")), true},
+	}
+	for _, c := range cases {
+		if got := bindPred(t, c.p, sc)(tu); got != c.want {
+			t.Errorf("%s on %v = %t, want %t", c.p, tu, got, c.want)
+		}
+	}
+}
+
+func TestBoolPredCombinators(t *testing.T) {
+	sc := sch2()
+	tu := schema.Row(5, 2.0)
+	pT := Eq(A("a"), C(5))
+	pF := Eq(A("a"), C(0))
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{AndOf(), true},
+		{AndOf(pT, pT), true},
+		{AndOf(pT, pF), false},
+		{OrOf(), false},
+		{OrOf(pF, pT), true},
+		{OrOf(pF, pF), false},
+		{NotOf(pF), true},
+		{NotOf(pT), false},
+		{True, true},
+		{False, false},
+	}
+	for _, c := range cases {
+		if got := bindPred(t, c.p, sc)(tu); got != c.want {
+			t.Errorf("%s = %t, want %t", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPredBindErrors(t *testing.T) {
+	sc := sch2()
+	bad := Eq(A("zzz"), C(1))
+	preds := []Predicate{
+		bad,
+		Eq(C(1), A("zzz")),
+		AndOf(True, bad),
+		OrOf(False, bad),
+		NotOf(bad),
+	}
+	for _, p := range preds {
+		if _, err := p.Bind(sc); err == nil {
+			t.Errorf("%s should fail to bind", p)
+		}
+	}
+}
+
+func TestPredStrings(t *testing.T) {
+	cases := map[string]Predicate{
+		"a = 1":             Eq(A("a"), C(1)),
+		"a != 1":            Neq(A("a"), C(1)),
+		"(a = 1 AND b > 2)": AndOf(Eq(A("a"), C(1)), Gt(A("b"), C(2))),
+		"(a = 1 OR a < 0)":  OrOf(Eq(A("a"), C(1)), Lt(A("a"), C(0))),
+		"NOT a = 1":         NotOf(Eq(A("a"), C(1))),
+		"TRUE":              AndOf(),
+		"FALSE":             OrOf(),
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+	if True.String() != "TRUE" || False.String() != "FALSE" {
+		t.Error("BoolLit strings wrong")
+	}
+	for op, want := range map[CmpOp]string{EQ: "=", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">="} {
+		if op.String() != want {
+			t.Errorf("CmpOp = %q, want %q", op.String(), want)
+		}
+	}
+}
+
+func TestEquiPairs(t *testing.T) {
+	p := AndOf(Eq(A("x"), A("y")), Gt(A("x"), C(0)), Eq(A("u"), A("v")))
+	pairs, rest := equiPairs(p)
+	if len(pairs) != 2 || pairs[0] != [2]string{"x", "y"} || pairs[1] != [2]string{"u", "v"} {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if len(rest) != 1 {
+		t.Fatalf("rest = %v", rest)
+	}
+	// Disjunction must not contribute join pairs.
+	pairs, _ = equiPairs(OrOf(Eq(A("x"), A("y")), True))
+	if len(pairs) != 0 {
+		t.Fatalf("Or contributed pairs: %v", pairs)
+	}
+	// attr = const is not an equi-join pair.
+	pairs, rest = equiPairs(Eq(A("x"), C(1)))
+	if len(pairs) != 0 || len(rest) != 1 {
+		t.Fatalf("attr=const misclassified: %v %v", pairs, rest)
+	}
+	// TRUE contributes nothing at all.
+	pairs, rest = equiPairs(True)
+	if len(pairs) != 0 || len(rest) != 0 {
+		t.Fatalf("TRUE misclassified")
+	}
+}

@@ -1,0 +1,163 @@
+package algebra
+
+import (
+	"math/rand"
+
+	"dvm/internal/bag"
+	"dvm/internal/schema"
+)
+
+// RandomUniverse describes a set of base tables that random queries draw
+// from. All tables share one schema so every operator applies; that is
+// enough to exercise all Figure 2 cases, since schema plumbing is tested
+// separately.
+type RandomUniverse struct {
+	Tables []string
+	Sch    *schema.Schema
+}
+
+// NewRandomUniverse builds a universe of n 2-column tables R0..R(n-1).
+func NewRandomUniverse(n int) *RandomUniverse {
+	sch := schema.NewSchema(schema.Col("a", schema.TInt), schema.Col("b", schema.TInt))
+	tables := make([]string, n)
+	for i := range tables {
+		tables[i] = string(rune('R')) + string(rune('0'+i))
+	}
+	return &RandomUniverse{Tables: tables, Sch: sch}
+}
+
+// RandomState produces a random database state over the universe, with
+// tuples drawn from a small domain so multiplicities exceed one often.
+func (u *RandomUniverse) RandomState(r *rand.Rand) MapSource {
+	st := MapSource{}
+	for _, name := range u.Tables {
+		b := bag.New()
+		n := r.Intn(10)
+		for i := 0; i < n; i++ {
+			b.Add(schema.Row(r.Intn(4), r.Intn(4)), 1+r.Intn(2))
+		}
+		st[name] = b
+	}
+	return st
+}
+
+// RandomQuery generates a random BA expression of the given depth over
+// the universe. All node kinds (including derived min/max/EXCEPT) are
+// produced, since the differential algorithms must handle every case.
+func (u *RandomUniverse) RandomQuery(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch r.Intn(8) {
+		case 0:
+			return Empty(u.Sch)
+		case 1:
+			lit, _ := Singleton(u.Sch, schema.Row(r.Intn(4), r.Intn(4)))
+			return lit
+		default:
+			return NewBase(u.Tables[r.Intn(len(u.Tables))], u.Sch)
+		}
+	}
+	child := func() Expr { return u.RandomQuery(r, depth-1) }
+	switch r.Intn(10) {
+	case 0:
+		s, err := NewSelect(u.randomPredicate(r), child())
+		if err != nil {
+			panic(err)
+		}
+		return s
+	case 1:
+		// Projection that keeps the schema closed under the universe:
+		// swap or duplicate columns, always emitting (a, b).
+		c := child()
+		var cols []string
+		if r.Intn(2) == 0 {
+			cols = []string{"b", "a"}
+		} else {
+			cols = []string{"a", "a"}
+		}
+		p, err := NewProject(cols, []string{"a", "b"}, c)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	case 2:
+		return NewDupElim(child())
+	case 3, 4:
+		e, err := NewUnionAll(child(), child())
+		if err != nil {
+			panic(err)
+		}
+		return e
+	case 5, 6:
+		e, err := NewMonus(child(), child())
+		if err != nil {
+			panic(err)
+		}
+		return e
+	case 7:
+		// Product followed by projection back into the closed schema.
+		prod := NewProduct(qualify(child(), "l"), qualify(child(), "r"))
+		p, err := NewProject([]string{"l.a", "r.b"}, []string{"a", "b"}, prod)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	case 8:
+		e, err := MinOf(child(), child())
+		if err != nil {
+			panic(err)
+		}
+		return e
+	default:
+		if r.Intn(2) == 0 {
+			e, err := MaxOf(child(), child())
+			if err != nil {
+				panic(err)
+			}
+			return e
+		}
+		e, err := ExceptOf(child(), child())
+		if err != nil {
+			panic(err)
+		}
+		return e
+	}
+}
+
+func (u *RandomUniverse) randomPredicate(r *rand.Rand) Predicate {
+	mk := func() Predicate {
+		ops := []CmpOp{EQ, NE, LT, LE, GT, GE}
+		l := Scalar(A("a"))
+		if r.Intn(2) == 0 {
+			l = A("b")
+		}
+		var rhs Scalar = C(r.Intn(4))
+		if r.Intn(3) == 0 {
+			rhs = A("a")
+		}
+		return Cmp{Op: ops[r.Intn(len(ops))], L: l, R: rhs}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return AndOf(mk(), mk())
+	case 1:
+		return OrOf(mk(), mk())
+	case 2:
+		return NotOf(mk())
+	default:
+		return mk()
+	}
+}
+
+// RandomDelta produces a random (deletes, inserts) pair of bags for one
+// table of the universe; deletes are not constrained to be subbags of the
+// current table value (the transaction layer normalizes that).
+func (u *RandomUniverse) RandomDelta(r *rand.Rand) (del, ins *bag.Bag) {
+	del, ins = bag.New(), bag.New()
+	for i, n := 0, r.Intn(4); i < n; i++ {
+		del.Add(schema.Row(r.Intn(4), r.Intn(4)), 1+r.Intn(2))
+	}
+	for i, n := 0, r.Intn(4); i < n; i++ {
+		ins.Add(schema.Row(r.Intn(4), r.Intn(4)), 1+r.Intn(2))
+	}
+	return del, ins
+}

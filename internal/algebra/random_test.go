@@ -1,0 +1,81 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomQueriesEvaluate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	u := NewRandomUniverse(3)
+	for i := 0; i < 200; i++ {
+		q := u.RandomQuery(r, 3)
+		st := u.RandomState(r)
+		b1, err := Eval(q, st)
+		if err != nil {
+			t.Fatalf("random query failed to evaluate: %v\n%s", err, q)
+		}
+		// Determinism: re-evaluation yields the same bag.
+		b2, err := Eval(q, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b1.Equal(b2) {
+			t.Fatalf("nondeterministic evaluation of %s", q)
+		}
+		// Output schema is closed under the universe's 2-column shape.
+		if q.Schema().Len() != 2 {
+			t.Fatalf("random query escaped the closed schema: %s -> %s", q, q.Schema())
+		}
+	}
+}
+
+func TestRandomSubstitutionEvaluates(t *testing.T) {
+	// η(Q) must evaluate for factored substitutions built from random
+	// deltas — the shape the differ consumes.
+	r := rand.New(rand.NewSource(2))
+	u := NewRandomUniverse(2)
+	for i := 0; i < 100; i++ {
+		q := u.RandomQuery(r, 3)
+		st := u.RandomState(r)
+		repl := map[string]Expr{}
+		for _, name := range u.Tables {
+			del, ins := u.RandomDelta(r)
+			base := NewBase(name, u.Sch)
+			m, err := NewMonus(base, NewLiteral(u.Sch, del))
+			if err != nil {
+				t.Fatal(err)
+			}
+			un, err := NewUnionAll(m, NewLiteral(u.Sch, ins))
+			if err != nil {
+				t.Fatal(err)
+			}
+			repl[name] = un
+		}
+		sq, err := Substitute(q, repl)
+		if err != nil {
+			t.Fatalf("substitute: %v", err)
+		}
+		if _, err := Eval(sq, st); err != nil {
+			t.Fatalf("substituted query failed: %v", err)
+		}
+	}
+}
+
+func TestRandomDeltaShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	u := NewRandomUniverse(1)
+	sawDel, sawIns := false, false
+	for i := 0; i < 50; i++ {
+		del, ins := u.RandomDelta(r)
+		if !del.Empty() {
+			sawDel = true
+		}
+		if !ins.Empty() {
+			sawIns = true
+		}
+	}
+	if !sawDel || !sawIns {
+		t.Fatal("RandomDelta never produced deletes or inserts")
+	}
+}

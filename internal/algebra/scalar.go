@@ -1,0 +1,149 @@
+// Package algebra implements the paper's bag algebra BA (Section 2.1):
+// a query AST over the primitives ∅, {x}, base tables, σ_p, Π_A, ε, ⊎,
+// ∸, and ×, with derived operators (min, max, EXCEPT, join) expanded into
+// primitives so that the differential algorithms of Figure 2 need handle
+// only the primitive cases. It provides static schema checking, an
+// evaluator over database states, and a printer.
+package algebra
+
+import (
+	"fmt"
+
+	"dvm/internal/schema"
+)
+
+// Scalar is a scalar-valued expression over a tuple: an attribute
+// reference, a constant, or arithmetic.
+type Scalar interface {
+	// bind resolves names against sch and returns an evaluator plus the
+	// result type.
+	bind(sch *schema.Schema) (func(schema.Tuple) schema.Value, schema.Type, error)
+	String() string
+}
+
+// BindScalar resolves a scalar expression against a schema, returning
+// its evaluator and result type — the exported form of the internal
+// binding used by predicates, for callers (like the SQL aggregate
+// executor) that evaluate scalars directly.
+func BindScalar(s Scalar, sch *schema.Schema) (func(schema.Tuple) schema.Value, schema.Type, error) {
+	return s.bind(sch)
+}
+
+// Attr references an attribute by name (possibly qualified, "s.custId").
+type Attr struct{ Name string }
+
+// A is shorthand for an attribute reference.
+func A(name string) Attr { return Attr{Name: name} }
+
+func (a Attr) bind(sch *schema.Schema) (func(schema.Tuple) schema.Value, schema.Type, error) {
+	pos, err := sch.Lookup(a.Name)
+	if err != nil {
+		return nil, schema.TNull, err
+	}
+	typ := sch.Column(pos).Type
+	return func(t schema.Tuple) schema.Value { return t[pos] }, typ, nil
+}
+
+func (a Attr) String() string { return a.Name }
+
+// Const is a constant scalar.
+type Const struct{ Value schema.Value }
+
+// C wraps a Go scalar as a constant.
+func C(v any) Const { return Const{Value: schema.Row(v)[0]} }
+
+func (c Const) bind(*schema.Schema) (func(schema.Tuple) schema.Value, schema.Type, error) {
+	v := c.Value
+	return func(schema.Tuple) schema.Value { return v }, v.Type(), nil
+}
+
+func (c Const) String() string { return c.Value.String() }
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	}
+	return "?"
+}
+
+// Arith is a binary arithmetic scalar expression over numerics.
+type Arith struct {
+	Op   ArithOp
+	L, R Scalar
+}
+
+func (x Arith) bind(sch *schema.Schema) (func(schema.Tuple) schema.Value, schema.Type, error) {
+	lf, lt, err := x.L.bind(sch)
+	if err != nil {
+		return nil, schema.TNull, err
+	}
+	rf, rt, err := x.R.bind(sch)
+	if err != nil {
+		return nil, schema.TNull, err
+	}
+	numeric := func(t schema.Type) bool { return t == schema.TInt || t == schema.TFloat || t == schema.TNull }
+	if !numeric(lt) || !numeric(rt) {
+		return nil, schema.TNull, fmt.Errorf("algebra: arithmetic on non-numeric types %s %s %s", lt, x.Op, rt)
+	}
+	intResult := lt == schema.TInt && rt == schema.TInt && x.Op != OpDiv
+	op := x.Op
+	eval := func(t schema.Tuple) schema.Value {
+		lv, rv := lf(t), rf(t)
+		if lv.IsNull() || rv.IsNull() {
+			return schema.Null()
+		}
+		if intResult {
+			a, b := lv.AsInt(), rv.AsInt()
+			switch op {
+			case OpAdd:
+				return schema.Int(a + b)
+			case OpSub:
+				return schema.Int(a - b)
+			case OpMul:
+				return schema.Int(a * b)
+			}
+		}
+		a, b := lv.AsFloat(), rv.AsFloat()
+		switch op {
+		case OpAdd:
+			return schema.Float(a + b)
+		case OpSub:
+			return schema.Float(a - b)
+		case OpMul:
+			return schema.Float(a * b)
+		case OpDiv:
+			if b == 0 {
+				return schema.Null()
+			}
+			return schema.Float(a / b)
+		}
+		panic("algebra: unreachable arith")
+	}
+	rtType := schema.TFloat
+	if intResult {
+		rtType = schema.TInt
+	}
+	return eval, rtType, nil
+}
+
+func (x Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", x.L, x.Op, x.R)
+}

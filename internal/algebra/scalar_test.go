@@ -1,0 +1,110 @@
+package algebra
+
+import (
+	"testing"
+
+	"dvm/internal/schema"
+)
+
+func sch2() *schema.Schema {
+	return schema.NewSchema(schema.Col("a", schema.TInt), schema.Col("b", schema.TFloat))
+}
+
+func bindScalar(t *testing.T, s Scalar, sc *schema.Schema) (func(schema.Tuple) schema.Value, schema.Type) {
+	t.Helper()
+	f, typ, err := s.bind(sc)
+	if err != nil {
+		t.Fatalf("bind(%s): %v", s, err)
+	}
+	return f, typ
+}
+
+func TestAttrBind(t *testing.T) {
+	f, typ := bindScalar(t, A("a"), sch2())
+	if typ != schema.TInt {
+		t.Fatalf("type = %s", typ)
+	}
+	if got := f(schema.Row(7, 1.5)); got.AsInt() != 7 {
+		t.Fatalf("eval = %v", got)
+	}
+	if _, _, err := A("zzz").bind(sch2()); err == nil {
+		t.Fatal("unknown attr should fail to bind")
+	}
+}
+
+func TestConstBind(t *testing.T) {
+	f, typ := bindScalar(t, C("hi"), sch2())
+	if typ != schema.TString || f(nil).AsString() != "hi" {
+		t.Fatal("const bind wrong")
+	}
+}
+
+func TestArithInt(t *testing.T) {
+	cases := []struct {
+		op   ArithOp
+		want int64
+	}{
+		{OpAdd, 10}, {OpSub, 4}, {OpMul, 21},
+	}
+	for _, c := range cases {
+		f, typ := bindScalar(t, Arith{Op: c.op, L: C(7), R: C(3)}, sch2())
+		if typ != schema.TInt {
+			t.Fatalf("%s type = %s", c.op, typ)
+		}
+		if got := f(nil); got.AsInt() != c.want {
+			t.Fatalf("%s = %v, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestArithFloatAndDiv(t *testing.T) {
+	f, typ := bindScalar(t, Arith{Op: OpDiv, L: C(7), R: C(2)}, sch2())
+	if typ != schema.TFloat {
+		t.Fatalf("div type = %s", typ)
+	}
+	if got := f(nil); got.AsFloat() != 3.5 {
+		t.Fatalf("7/2 = %v", got)
+	}
+	f, _ = bindScalar(t, Arith{Op: OpDiv, L: C(1), R: C(0)}, sch2())
+	if !f(nil).IsNull() {
+		t.Fatal("division by zero should be NULL")
+	}
+	f, typ = bindScalar(t, Arith{Op: OpAdd, L: A("b"), R: C(1)}, sch2())
+	if typ != schema.TFloat {
+		t.Fatalf("float+int type = %s", typ)
+	}
+	if got := f(schema.Row(0, 1.5)); got.AsFloat() != 2.5 {
+		t.Fatalf("1.5+1 = %v", got)
+	}
+}
+
+func TestArithNullPropagation(t *testing.T) {
+	f, _ := bindScalar(t, Arith{Op: OpAdd, L: A("a"), R: C(1)}, sch2())
+	if !f(schema.Row(nil, 0.0)).IsNull() {
+		t.Fatal("NULL + 1 should be NULL")
+	}
+}
+
+func TestArithTypeError(t *testing.T) {
+	if _, _, err := (Arith{Op: OpAdd, L: C("x"), R: C(1)}).bind(sch2()); err == nil {
+		t.Fatal("string arithmetic should fail to bind")
+	}
+	if _, _, err := (Arith{Op: OpAdd, L: A("zzz"), R: C(1)}).bind(sch2()); err == nil {
+		t.Fatal("bad attr in arith should fail")
+	}
+	if _, _, err := (Arith{Op: OpAdd, L: C(1), R: A("zzz")}).bind(sch2()); err == nil {
+		t.Fatal("bad attr on right should fail")
+	}
+}
+
+func TestScalarStrings(t *testing.T) {
+	s := Arith{Op: OpMul, L: A("a"), R: C(3)}
+	if got := s.String(); got != "(a * 3)" {
+		t.Fatalf("String = %q", got)
+	}
+	for op, want := range map[ArithOp]string{OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/"} {
+		if op.String() != want {
+			t.Errorf("ArithOp(%d) = %q", op, op.String())
+		}
+	}
+}

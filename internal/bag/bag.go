@@ -1,0 +1,185 @@
+// Package bag implements finite bags (multisets) of tuples with the
+// operations of the paper's bag algebra BA (Section 2.1): additive union
+// ⊎, monus ∸, duplicate elimination ε, selection σ, projection Π, and
+// cartesian product ×, plus the derived operations min (minimal
+// intersection), max (maximal union), and SQL EXCEPT.
+//
+// A Bag maps canonical tuple keys to (tuple, multiplicity) entries. All
+// operations are pure: they return fresh bags and never mutate operands,
+// except the explicitly-mutating Add/Remove used by the storage layer.
+package bag
+
+import (
+	"sort"
+	"strings"
+
+	"dvm/internal/schema"
+)
+
+type entry struct {
+	tuple schema.Tuple
+	count int
+}
+
+// Bag is a finite multiset of tuples. The zero value is NOT ready to use;
+// call New. Bags are not safe for concurrent mutation.
+type Bag struct {
+	m    map[string]entry
+	size int // total multiplicity
+}
+
+// New returns an empty bag.
+func New() *Bag { return &Bag{m: make(map[string]entry)} }
+
+// Of builds a bag containing each given tuple once.
+func Of(tuples ...schema.Tuple) *Bag {
+	b := New()
+	for _, t := range tuples {
+		b.Add(t, 1)
+	}
+	return b
+}
+
+// FromCounts builds a bag from tuple/multiplicity pairs.
+func FromCounts(pairs map[string]struct {
+	Tuple schema.Tuple
+	Count int
+}) *Bag {
+	b := New()
+	for _, p := range pairs {
+		b.Add(p.Tuple, p.Count)
+	}
+	return b
+}
+
+// Add inserts n copies of t (n may be negative to remove; multiplicities
+// clamp at zero). It mutates the bag in place and returns it.
+func (b *Bag) Add(t schema.Tuple, n int) *Bag {
+	if n == 0 {
+		return b
+	}
+	k := t.Key()
+	e, ok := b.m[k]
+	if !ok {
+		if n <= 0 {
+			return b
+		}
+		b.m[k] = entry{tuple: t, count: n}
+		b.size += n
+		return b
+	}
+	c := e.count + n
+	if c <= 0 {
+		b.size -= e.count
+		delete(b.m, k)
+		return b
+	}
+	b.size += c - e.count
+	e.count = c
+	b.m[k] = e
+	return b
+}
+
+// AddBag folds all of o's contents into b in place.
+func (b *Bag) AddBag(o *Bag) *Bag {
+	for _, e := range o.m {
+		b.Add(e.tuple, e.count)
+	}
+	return b
+}
+
+// Remove removes up to n copies of t.
+func (b *Bag) Remove(t schema.Tuple, n int) *Bag { return b.Add(t, -n) }
+
+// Clear empties the bag in place.
+func (b *Bag) Clear() {
+	b.m = make(map[string]entry)
+	b.size = 0
+}
+
+// Count returns the multiplicity of t.
+func (b *Bag) Count(t schema.Tuple) int { return b.m[t.Key()].count }
+
+// Contains reports whether t occurs at least once.
+func (b *Bag) Contains(t schema.Tuple) bool { return b.Count(t) > 0 }
+
+// Len returns the total multiplicity (|b| with duplicates).
+func (b *Bag) Len() int { return b.size }
+
+// Distinct returns the number of distinct tuples.
+func (b *Bag) Distinct() int { return len(b.m) }
+
+// Empty reports whether the bag has no tuples.
+func (b *Bag) Empty() bool { return b.size == 0 }
+
+// Clone returns a deep-enough copy (tuples are immutable and shared).
+func (b *Bag) Clone() *Bag {
+	c := &Bag{m: make(map[string]entry, len(b.m)), size: b.size}
+	for k, e := range b.m {
+		c.m[k] = e
+	}
+	return c
+}
+
+// Each calls f once per distinct tuple with its multiplicity. Iteration
+// order is unspecified. f must not mutate the bag.
+func (b *Bag) Each(f func(t schema.Tuple, n int)) {
+	for _, e := range b.m {
+		f(e.tuple, e.count)
+	}
+}
+
+// Tuples returns every tuple with duplicates expanded, in canonical
+// (sorted) order; intended for tests and display.
+func (b *Bag) Tuples() []schema.Tuple {
+	out := make([]schema.Tuple, 0, b.size)
+	for _, e := range b.m {
+		for i := 0; i < e.count; i++ {
+			out = append(out, e.tuple)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Equal reports whether two bags contain the same tuples with the same
+// multiplicities.
+func (b *Bag) Equal(o *Bag) bool {
+	if b.size != o.size || len(b.m) != len(o.m) {
+		return false
+	}
+	for k, e := range b.m {
+		if o.m[k].count != e.count {
+			return false
+		}
+	}
+	return true
+}
+
+// SubBagOf reports b ⊑ o: every tuple's multiplicity in b is ≤ its
+// multiplicity in o.
+func (b *Bag) SubBagOf(o *Bag) bool {
+	if b.size > o.size {
+		return false
+	}
+	for k, e := range b.m {
+		if o.m[k].count < e.count {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the bag as {t1, t1, t2, ...} in canonical order.
+func (b *Bag) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, t := range b.Tuples() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,213 @@
+package bag
+
+import (
+	"testing"
+
+	"dvm/internal/schema"
+)
+
+func row(vs ...any) schema.Tuple { return schema.Row(vs...) }
+
+func bagOf(counts map[string]int) *Bag {
+	b := New()
+	for s, n := range counts {
+		b.Add(row(s), n)
+	}
+	return b
+}
+
+func TestAddRemoveCount(t *testing.T) {
+	b := New()
+	if !b.Empty() || b.Len() != 0 || b.Distinct() != 0 {
+		t.Fatal("fresh bag not empty")
+	}
+	b.Add(row("a"), 2)
+	b.Add(row("b"), 1)
+	if b.Len() != 3 || b.Distinct() != 2 {
+		t.Fatalf("Len=%d Distinct=%d", b.Len(), b.Distinct())
+	}
+	if b.Count(row("a")) != 2 || !b.Contains(row("a")) {
+		t.Fatal("count of a wrong")
+	}
+	b.Remove(row("a"), 1)
+	if b.Count(row("a")) != 1 {
+		t.Fatal("remove 1 wrong")
+	}
+	b.Remove(row("a"), 99) // clamp at zero
+	if b.Contains(row("a")) || b.Len() != 1 {
+		t.Fatal("clamped remove wrong")
+	}
+	b.Add(row("c"), 0) // no-op
+	if b.Contains(row("c")) {
+		t.Fatal("Add 0 should be a no-op")
+	}
+	b.Add(row("c"), -5) // negative add on absent tuple: no-op
+	if b.Contains(row("c")) || b.Len() != 1 {
+		t.Fatal("negative add on absent tuple should be a no-op")
+	}
+	b.Clear()
+	if !b.Empty() {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestOfAndClone(t *testing.T) {
+	b := Of(row(1), row(1), row(2))
+	if b.Count(row(1)) != 2 || b.Count(row(2)) != 1 {
+		t.Fatal("Of counts wrong")
+	}
+	c := b.Clone()
+	c.Add(row(3), 1)
+	if b.Contains(row(3)) {
+		t.Fatal("Clone aliases storage")
+	}
+	if !b.Equal(Of(row(1), row(1), row(2))) {
+		t.Fatal("original changed")
+	}
+}
+
+func TestEqualAndSubBag(t *testing.T) {
+	a := bagOf(map[string]int{"x": 2, "y": 1})
+	b := bagOf(map[string]int{"x": 2, "y": 1})
+	c := bagOf(map[string]int{"x": 1, "y": 1})
+	d := bagOf(map[string]int{"x": 2, "z": 1})
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Fatal("Equal wrong")
+	}
+	if !c.SubBagOf(a) || a.SubBagOf(c) {
+		t.Fatal("SubBagOf wrong")
+	}
+	if !New().SubBagOf(a) || !a.SubBagOf(a) {
+		t.Fatal("SubBagOf edge cases wrong")
+	}
+	if d.SubBagOf(a) {
+		t.Fatal("d has z, not a subbag")
+	}
+}
+
+func TestUnionAllMonus(t *testing.T) {
+	a := bagOf(map[string]int{"x": 2, "y": 1})
+	b := bagOf(map[string]int{"x": 1, "z": 3})
+	u := UnionAll(a, b)
+	if u.Count(row("x")) != 3 || u.Count(row("y")) != 1 || u.Count(row("z")) != 3 {
+		t.Fatalf("UnionAll wrong: %v", u)
+	}
+	// operands untouched
+	if a.Count(row("x")) != 2 || b.Count(row("z")) != 3 {
+		t.Fatal("UnionAll mutated operands")
+	}
+	m := Monus(a, b)
+	if m.Count(row("x")) != 1 || m.Count(row("y")) != 1 || m.Contains(row("z")) {
+		t.Fatalf("Monus wrong: %v", m)
+	}
+	if !Monus(b, b).Empty() {
+		t.Fatal("b ∸ b should be empty")
+	}
+}
+
+func TestMinMaxIdentities(t *testing.T) {
+	a := bagOf(map[string]int{"x": 3, "y": 1})
+	b := bagOf(map[string]int{"x": 1, "z": 2})
+	min := Min(a, b)
+	if min.Count(row("x")) != 1 || min.Len() != 1 {
+		t.Fatalf("Min wrong: %v", min)
+	}
+	max := Max(a, b)
+	if max.Count(row("x")) != 3 || max.Count(row("y")) != 1 || max.Count(row("z")) != 2 {
+		t.Fatalf("Max wrong: %v", max)
+	}
+	// Paper definitions: min = a ∸ (a ∸ b); max = a ⊎ (b ∸ a).
+	if !min.Equal(Monus(a, Monus(a, b))) {
+		t.Fatal("Min does not match a ∸ (a ∸ b)")
+	}
+	if !max.Equal(UnionAll(a, Monus(b, a))) {
+		t.Fatal("Max does not match a ⊎ (b ∸ a)")
+	}
+}
+
+func TestExcept(t *testing.T) {
+	a := bagOf(map[string]int{"x": 3, "y": 2})
+	b := bagOf(map[string]int{"x": 1})
+	e := Except(a, b)
+	// EXCEPT removes ALL copies of x because x ∈ b, regardless of count.
+	if e.Contains(row("x")) || e.Count(row("y")) != 2 {
+		t.Fatalf("Except wrong: %v", e)
+	}
+	// Monus, by contrast, leaves 2 copies of x.
+	if Monus(a, b).Count(row("x")) != 2 {
+		t.Fatal("Monus/EXCEPT distinction lost")
+	}
+}
+
+func TestDupElim(t *testing.T) {
+	a := bagOf(map[string]int{"x": 3, "y": 1})
+	e := DupElim(a)
+	if e.Count(row("x")) != 1 || e.Count(row("y")) != 1 || e.Len() != 2 {
+		t.Fatalf("DupElim wrong: %v", e)
+	}
+	if !DupElim(New()).Empty() {
+		t.Fatal("DupElim of empty should be empty")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	a := Of(row(1), row(2), row(2), row(3))
+	s := Select(a, func(tp schema.Tuple) bool { return tp[0].AsInt() >= 2 })
+	if s.Count(row(2)) != 2 || s.Count(row(3)) != 1 || s.Contains(row(1)) {
+		t.Fatalf("Select wrong: %v", s)
+	}
+}
+
+func TestProjectPreservesDuplicates(t *testing.T) {
+	a := Of(row(1, "p"), row(1, "q"), row(2, "p"))
+	p := Project(a, func(tp schema.Tuple) schema.Tuple { return schema.NewTuple(tp[0]) })
+	// [1,"p"] and [1,"q"] both project to [1]: multiplicity 2 (bag semantics).
+	if p.Count(row(1)) != 2 || p.Count(row(2)) != 1 {
+		t.Fatalf("Project wrong: %v", p)
+	}
+}
+
+func TestProduct(t *testing.T) {
+	a := Of(row(1), row(1)) // 1 with multiplicity 2
+	b := Of(row("x"), row("y"))
+	p := Product(a, b)
+	if p.Len() != 4 || p.Count(row(1, "x")) != 2 || p.Count(row(1, "y")) != 2 {
+		t.Fatalf("Product wrong: %v", p)
+	}
+	if !Product(a, New()).Empty() || !Product(New(), b).Empty() {
+		t.Fatal("product with empty should be empty")
+	}
+}
+
+func TestProductSelect(t *testing.T) {
+	a := Of(row(1), row(2))
+	b := Of(row(1), row(3))
+	j := ProductSelect(a, b, func(tp schema.Tuple) bool { return tp[0].Equal(tp[1]) })
+	if j.Len() != 1 || j.Count(row(1, 1)) != 1 {
+		t.Fatalf("ProductSelect wrong: %v", j)
+	}
+	if !j.Equal(Select(Product(a, b), func(tp schema.Tuple) bool { return tp[0].Equal(tp[1]) })) {
+		t.Fatal("ProductSelect != Select∘Product")
+	}
+}
+
+func TestTuplesSortedAndString(t *testing.T) {
+	b := Of(row(2), row(1), row(1))
+	ts := b.Tuples()
+	if len(ts) != 3 || ts[0][0].AsInt() != 1 || ts[1][0].AsInt() != 1 || ts[2][0].AsInt() != 2 {
+		t.Fatalf("Tuples order wrong: %v", ts)
+	}
+	if got := b.String(); got != "{[1], [1], [2]}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEachVisitsAll(t *testing.T) {
+	b := bagOf(map[string]int{"x": 2, "y": 5})
+	total := 0
+	distinct := 0
+	b.Each(func(_ schema.Tuple, n int) { total += n; distinct++ })
+	if total != 7 || distinct != 2 {
+		t.Fatalf("Each visited total=%d distinct=%d", total, distinct)
+	}
+}

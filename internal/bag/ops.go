@@ -1,0 +1,131 @@
+package bag
+
+import "dvm/internal/schema"
+
+// UnionAll returns a ⊎ b: multiplicities add.
+func UnionAll(a, b *Bag) *Bag {
+	out := a.Clone()
+	out.AddBag(b)
+	return out
+}
+
+// Monus returns a ∸ b: per-tuple multiplicity max(0, n_a - n_b).
+// This is the paper's "∸" operator, distinct from SQL EXCEPT.
+func Monus(a, b *Bag) *Bag {
+	out := New()
+	for k, e := range a.m {
+		n := e.count - b.m[k].count
+		if n > 0 {
+			out.m[k] = entry{tuple: e.tuple, count: n}
+			out.size += n
+		}
+	}
+	return out
+}
+
+// Min returns the minimal intersection: per-tuple min(n_a, n_b).
+// Defined in the paper as a ∸ (a ∸ b); computed directly here.
+func Min(a, b *Bag) *Bag {
+	if len(b.m) < len(a.m) {
+		a, b = b, a
+	}
+	out := New()
+	for k, e := range a.m {
+		n := e.count
+		if bn := b.m[k].count; bn < n {
+			n = bn
+		}
+		if n > 0 {
+			out.m[k] = entry{tuple: e.tuple, count: n}
+			out.size += n
+		}
+	}
+	return out
+}
+
+// Max returns the maximal union: per-tuple max(n_a, n_b).
+// Defined in the paper as a ⊎ (b ∸ a); computed directly here.
+func Max(a, b *Bag) *Bag {
+	out := a.Clone()
+	for k, e := range b.m {
+		if have := out.m[k].count; e.count > have {
+			out.size += e.count - have
+			out.m[k] = entry{tuple: e.tuple, count: e.count}
+		}
+	}
+	return out
+}
+
+// Except returns SQL EXCEPT ALL-the-paper's-way: a EXCEPT b removes every
+// tuple of a that occurs in b at all, regardless of multiplicity
+// (Section 2.1). It equals Π1(σ1=2(a × (ε(a) ∸ b))) but is computed
+// directly.
+func Except(a, b *Bag) *Bag {
+	out := New()
+	for k, e := range a.m {
+		if b.m[k].count == 0 {
+			out.m[k] = e
+			out.size += e.count
+		}
+	}
+	return out
+}
+
+// DupElim returns ε(a): every tuple of a with multiplicity 1.
+func DupElim(a *Bag) *Bag {
+	out := New()
+	for k, e := range a.m {
+		out.m[k] = entry{tuple: e.tuple, count: 1}
+	}
+	out.size = len(out.m)
+	return out
+}
+
+// Select returns σ_p(a) for a predicate over tuples.
+func Select(a *Bag, pred func(schema.Tuple) bool) *Bag {
+	out := New()
+	for k, e := range a.m {
+		if pred(e.tuple) {
+			out.m[k] = e
+			out.size += e.count
+		}
+	}
+	return out
+}
+
+// Project returns Π(a) under a tuple transform. Distinct inputs may map
+// to the same output, in which case multiplicities add (bag semantics —
+// projection does NOT eliminate duplicates).
+func Project(a *Bag, f func(schema.Tuple) schema.Tuple) *Bag {
+	out := New()
+	for _, e := range a.m {
+		out.Add(f(e.tuple), e.count)
+	}
+	return out
+}
+
+// Product returns a × b: tuple concatenation, multiplicities multiply.
+func Product(a, b *Bag) *Bag {
+	out := New()
+	for _, ea := range a.m {
+		for _, eb := range b.m {
+			out.Add(ea.tuple.Concat(eb.tuple), ea.count*eb.count)
+		}
+	}
+	return out
+}
+
+// ProductSelect returns σ_p(a × b) without materializing the full product:
+// the join path used by the evaluator.
+func ProductSelect(a, b *Bag, pred func(schema.Tuple) bool) *Bag {
+	out := New()
+	for _, ea := range a.m {
+		for _, eb := range b.m {
+			t := ea.tuple.Concat(eb.tuple)
+			if pred(t) {
+				out.Add(t, ea.count*eb.count)
+			}
+		}
+	}
+	return out
+}

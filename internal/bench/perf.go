@@ -1,0 +1,436 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dvm/internal/algebra"
+	"dvm/internal/bag"
+	"dvm/internal/core"
+	"dvm/internal/schema"
+	"dvm/internal/storage"
+	"dvm/internal/txn"
+	"dvm/internal/workload"
+)
+
+// benchConfig returns a retail configuration sized to finish each
+// experiment in seconds.
+func benchConfig(seed int64) workload.RetailConfig {
+	return workload.RetailConfig{
+		Customers:    300,
+		HighFraction: 0.2,
+		InitialSales: 1500,
+		Items:        200,
+		ZipfS:        1.2,
+		Seed:         seed,
+	}
+}
+
+// setupViews builds a manager with n filtered retail views under one
+// scenario.
+func setupViews(n int, sc core.Scenario, seed int64, opts ...core.ManagerOption) (*core.Manager, *workload.Retail, error) {
+	db := storage.NewDatabase()
+	w := workload.NewRetail(benchConfig(seed))
+	if err := w.Setup(db); err != nil {
+		return nil, nil, err
+	}
+	m := core.NewManager(db, opts...)
+	for i := 0; i < n; i++ {
+		lo := i * 200 / n
+		hi := (i + 1) * 200 / n
+		def, err := w.FilteredViewDef(algebra.AndOf(
+			algebra.Cmp{Op: algebra.GE, L: algebra.A("s.itemNo"), R: algebra.C(lo)},
+			algebra.Lt(algebra.A("s.itemNo"), algebra.C(hi)),
+		))
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := m.DefineView(fmt.Sprintf("v%d", i), def, sc); err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, w, nil
+}
+
+// E3Overhead measures per-transaction latency as the number of views
+// grows, for each scenario. Expected shape: IM and DT grow with view
+// count (each transaction evaluates incremental queries per view); BL
+// and C stay near-flat (log appends only).
+func E3Overhead() (*Report, error) {
+	scenarios := []core.Scenario{Immediate, BaseLogs, DiffTables, Combined}
+	viewCounts := []int{1, 2, 4, 8, 16}
+	const txns = 40
+
+	rep := &Report{
+		ID:     "E3",
+		Title:  "Per-transaction overhead (µs/txn) vs number of views",
+		Notes:  "expect IM/DT to grow with views; BL/C near-flat (makesafe only appends to logs)",
+		Header: append([]string{"scenario"}, colsFor(viewCounts)...),
+	}
+	for _, sc := range scenarios {
+		row := []string{sc.String()}
+		for _, n := range viewCounts {
+			m, w, err := setupViews(n, sc, 42)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for i := 0; i < txns; i++ {
+				if err := m.Execute(w.SalesBatch(1)); err != nil {
+					return nil, err
+				}
+			}
+			per := time.Since(start) / txns
+			row = append(row, fmt.Sprint(per.Microseconds()))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+const (
+	// scenario aliases for readability inside this package
+	Immediate  = core.Immediate
+	BaseLogs   = core.BaseLogs
+	DiffTables = core.DiffTables
+	Combined   = core.Combined
+)
+
+func colsFor(ns []int) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = fmt.Sprintf("%d views", n)
+	}
+	return out
+}
+
+// E4Downtime reproduces Example 5.4: m=24 ticks of updates; BL refreshes
+// once at the end (a full day's log), C under Policy 1 propagates every
+// k=1 tick and runs refresh_C at the end, C under Policy 2 propagates
+// every tick and applies only partial_refresh_C. Downtime is the
+// exclusive-lock hold on the MV table during the final refresh.
+func E4Downtime() (*Report, error) {
+	const (
+		m       = 24
+		k       = 1
+		perTick = 50
+		deletes = 10
+	)
+
+	type variant struct {
+		name   string
+		sc     core.Scenario
+		policy core.Policy
+	}
+	variants := []variant{
+		{"BL refresh (whole-period log)", core.BaseLogs, core.Policy{RefreshEvery: m}},
+		{"C Policy 1 (propagate k=1, refresh_C)", core.Combined, core.Policy{PropagateEvery: k, RefreshEvery: m}},
+		{"C Policy 2 (propagate k=1, partial_refresh)", core.Combined, core.Policy{PropagateEvery: k, RefreshEvery: m, Partial: true}},
+	}
+
+	rep := &Report{
+		ID:     "E4",
+		Title:  fmt.Sprintf("View downtime (µs) over m=%d ticks, %d inserts + %d deletes per tick", m, perTick, deletes),
+		Notes:  "expect downtime(BL) > downtime(C Policy 1) > downtime(C Policy 2)",
+		Header: []string{"variant", "refresh downtime µs", "total propagate µs", "per-txn makesafe µs"},
+	}
+	for _, v := range variants {
+		mgr, w, err := setupViews(1, v.sc, 7)
+		if err != nil {
+			return nil, err
+		}
+		runner, err := mgr.NewRunner("v0", v.policy)
+		if err != nil {
+			return nil, err
+		}
+		for tick := 0; tick < m; tick++ {
+			if err := mgr.Execute(w.MixedBatch(perTick, deletes)); err != nil {
+				return nil, err
+			}
+			if err := runner.Tick(); err != nil {
+				return nil, err
+			}
+		}
+		view, _ := mgr.View("v0")
+		stats := mgr.Locks().Stats(view.MVTable())
+		vs := view.Stats
+		perTxn := time.Duration(0)
+		if vs.MakeSafeOps > 0 {
+			perTxn = vs.MakeSafeTime / time.Duration(vs.MakeSafeOps)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			v.name,
+			fmt.Sprint(stats.MaxWriteHold.Microseconds()),
+			fmt.Sprint(vs.PropagateTime.Microseconds()),
+			fmt.Sprint(perTxn.Microseconds()),
+		})
+	}
+	return rep, nil
+}
+
+// E5PropagationSweep sweeps the propagation interval k for the Combined
+// scenario with m=24: small k means tiny logs at refresh (low downtime)
+// but more propagate invocations.
+func E5PropagationSweep() (*Report, error) {
+	const m = 24
+	rep := &Report{
+		ID:     "E5",
+		Title:  "Propagation interval sweep (Combined, m=24 ticks, Policy 1)",
+		Notes:  "downtime grows with k (more un-propagated log at refresh); propagate count shrinks",
+		Header: []string{"k", "refresh downtime µs", "propagates", "total propagate µs"},
+	}
+	for _, k := range []int{1, 2, 4, 8, 24} {
+		mgr, w, err := setupViews(1, core.Combined, 11)
+		if err != nil {
+			return nil, err
+		}
+		runner, err := mgr.NewRunner("v0", core.Policy{PropagateEvery: k, RefreshEvery: m})
+		if err != nil {
+			return nil, err
+		}
+		for tick := 0; tick < m; tick++ {
+			if err := mgr.Execute(w.MixedBatch(50, 10)); err != nil {
+				return nil, err
+			}
+			if err := runner.Tick(); err != nil {
+				return nil, err
+			}
+		}
+		view, _ := mgr.View("v0")
+		stats := mgr.Locks().Stats(view.MVTable())
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprint(k),
+			fmt.Sprint(stats.MaxWriteHold.Microseconds()),
+			fmt.Sprint(view.Stats.Propagates),
+			fmt.Sprint(view.Stats.PropagateTime.Microseconds()),
+		})
+	}
+	return rep, nil
+}
+
+// E7Minimality compares weak vs strong minimality under a churn workload
+// in which existing rows are deleted and later reinserted verbatim
+// (corrections being rolled back). Weak minimality accumulates the churn
+// on BOTH sides of the differential tables; the strong fold cancels
+// delete+reinsert pairs, shrinking the tables and the downtime of
+// applying them.
+func E7Minimality() (*Report, error) {
+	rep := &Report{
+		ID:     "E7",
+		Title:  "Weak vs strong minimality under delete+reinsert churn (Combined)",
+		Notes:  "strong minimality cancels delete+reinsert pairs in ∇MV/△MV",
+		Header: []string{"variant", "|∇MV|+|△MV| before refresh", "partial refresh µs"},
+	}
+	for _, strong := range []bool{false, true} {
+		db := storage.NewDatabase()
+		w := workload.NewRetail(benchConfig(3))
+		if err := w.Setup(db); err != nil {
+			return nil, err
+		}
+		m := core.NewManager(db)
+		def, err := w.ViewDef()
+		if err != nil {
+			return nil, err
+		}
+		var opts []core.Option
+		name := "weak minimality (paper's default)"
+		if strong {
+			opts = append(opts, core.WithStrongMinimality())
+			name = "strong minimality (§4.1 + strong Lemma 3 analog)"
+		}
+		if _, err := m.DefineView("v", def, core.Combined, opts...); err != nil {
+			return nil, err
+		}
+
+		// Victims: a slice of existing sales rows, deleted and reinserted
+		// verbatim each round, with a propagate between the two halves so
+		// the churn lands in the differential tables.
+		sales, err := db.Bag("sales")
+		if err != nil {
+			return nil, err
+		}
+		victims := bag.New()
+		i := 0
+		sales.Each(func(tu schema.Tuple, n int) {
+			if i < 200 {
+				victims.Add(tu, n)
+			}
+			i++
+		})
+		for round := 0; round < 4; round++ {
+			if err := m.Execute(txn.Delete("sales", victims.Clone())); err != nil {
+				return nil, err
+			}
+			if err := m.Propagate("v"); err != nil {
+				return nil, err
+			}
+			if err := m.Execute(txn.Insert("sales", victims.Clone())); err != nil {
+				return nil, err
+			}
+			if err := m.Propagate("v"); err != nil {
+				return nil, err
+			}
+		}
+		dd, _ := db.Bag("__dmv_del_v")
+		da, _ := db.Bag("__dmv_add_v")
+		size := dd.Len() + da.Len()
+		start := time.Now()
+		if err := m.PartialRefresh("v"); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if err := m.CheckInvariant("v"); err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{name, fmt.Sprint(size), fmt.Sprint(elapsed.Microseconds())})
+	}
+	return rep, nil
+}
+
+// E8IncrVsRecompute sweeps the update fraction between refreshes:
+// incremental refresh (BL) wins when the log is small relative to the
+// base tables, with a crossover as the fraction grows.
+func E8IncrVsRecompute() (*Report, error) {
+	rep := &Report{
+		ID:     "E8",
+		Title:  "Incremental refresh vs full recomputation (BaseLogs scenario)",
+		Notes:  "incremental should win at small update fractions; recompute is flat",
+		Header: []string{"updates since refresh", "fraction of base", "incremental µs", "recompute µs", "winner"},
+	}
+	base := benchConfig(5)
+	for _, frac := range []float64{0.001, 0.01, 0.1, 0.5} {
+		n := int(frac * float64(base.InitialSales))
+		if n < 1 {
+			n = 1
+		}
+		incr, err := refreshCost(n, false)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := refreshCost(n, true)
+		if err != nil {
+			return nil, err
+		}
+		winner := "incremental"
+		if rec < incr {
+			winner = "recompute"
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprintf("%.1f%%", frac*100),
+			fmt.Sprint(incr.Microseconds()),
+			fmt.Sprint(rec.Microseconds()),
+			winner,
+		})
+	}
+	return rep, nil
+}
+
+// refreshCost loads the retail workload, applies n single-row updates,
+// and times either the incremental BL refresh or a full recompute.
+func refreshCost(n int, recompute bool) (time.Duration, error) {
+	m, w, err := setupViews(1, core.BaseLogs, 5)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Execute(w.SalesBatch(n)); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if recompute {
+		err = m.RefreshRecompute("v0")
+	} else {
+		err = m.Refresh("v0")
+	}
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if err := m.CheckConsistent("v0"); err != nil {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// E10SharedLog answers the paper's Section 7 question as an ablation:
+// with per-view log tables, makesafe pays one log append per view; with
+// a shared per-table log plus per-view cursors, it pays one append per
+// TABLE — flat in the number of views. Both configurations keep INV_C.
+func E10SharedLog() (*Report, error) {
+	viewCounts := []int{1, 2, 4, 8, 16, 32}
+	const txns = 40
+	rep := &Report{
+		ID:     "E10",
+		Title:  "Section 7 extension: per-transaction cost (µs) vs views, per-view vs shared logs",
+		Notes:  "per-view logs pay one append per view; shared logs one append per table (flat)",
+		Header: append([]string{"log layout"}, colsFor(viewCounts)...),
+	}
+	variants := []struct {
+		name string
+		opts []core.ManagerOption
+	}{
+		{"per-view log tables (paper §3.3)", nil},
+		{"shared log + cursors (§7 extension)", []core.ManagerOption{core.WithSharedLogs()}},
+	}
+	for _, variant := range variants {
+		row := []string{variant.name}
+		for _, n := range viewCounts {
+			m, w, err := setupViews(n, core.Combined, 21, variant.opts...)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for i := 0; i < txns; i++ {
+				if err := m.Execute(w.SalesBatch(20)); err != nil {
+					return nil, err
+				}
+			}
+			per := time.Since(start) / txns
+			row = append(row, fmt.Sprint(per.Microseconds()))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// E9Batching quantifies the paper's batching claim: n single-row
+// transactions under immediate maintenance pay the incremental queries n
+// times; deferred maintenance pays one log append per transaction plus
+// one batched refresh.
+func E9Batching() (*Report, error) {
+	const n = 200
+	rep := &Report{
+		ID:     "E9",
+		Title:  fmt.Sprintf("Batching: %d single-row transactions, immediate vs deferred", n),
+		Notes:  "deferred total = cheap per-txn log appends + one batched refresh",
+		Header: []string{"scenario", "txn total µs", "refresh µs", "overall µs"},
+	}
+	for _, sc := range []core.Scenario{core.Immediate, core.BaseLogs, core.Combined} {
+		m, w, err := setupViews(1, sc, 13)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := m.Execute(w.SalesBatch(1)); err != nil {
+				return nil, err
+			}
+		}
+		txnTotal := time.Since(start)
+		start = time.Now()
+		if err := m.Refresh("v0"); err != nil {
+			return nil, err
+		}
+		refresh := time.Since(start)
+		if err := m.CheckConsistent("v0"); err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{
+			sc.String(),
+			fmt.Sprint(txnTotal.Microseconds()),
+			fmt.Sprint(refresh.Microseconds()),
+			fmt.Sprint((txnTotal + refresh).Microseconds()),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,89 @@
+// Package bench implements the experiment harness: one function per
+// experiment in DESIGN.md's per-experiment index (E1–E9), each returning
+// a Report that cmd/dvmbench prints. The experiments reproduce the
+// paper's worked examples (state bug), its qualitative claims
+// (per-transaction overhead, view downtime, Policies 1/2), and the
+// ablations DESIGN.md calls out (weak vs strong minimality, incremental
+// vs recompute).
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one experiment's output table.
+type Report struct {
+	ID     string
+	Title  string
+	Notes  string   // expected shape, caveats
+	Header []string // column names
+	Rows   [][]string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&sb, "note: %s\n", r.Notes)
+	}
+	return sb.String()
+}
+
+// Experiment names one runnable experiment.
+type Experiment struct {
+	ID  string
+	Run func() (*Report, error)
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "e1", Run: E1StateBugJoin},
+		{ID: "e2", Run: E2StateBugDiff},
+		{ID: "e3", Run: E3Overhead},
+		{ID: "e4", Run: E4Downtime},
+		{ID: "e5", Run: E5PropagationSweep},
+		{ID: "e6", Run: E6RestrictedClass},
+		{ID: "e7", Run: E7Minimality},
+		{ID: "e8", Run: E8IncrVsRecompute},
+		{ID: "e9", Run: E9Batching},
+		{ID: "e10", Run: E10SharedLog},
+		{ID: "e11", Run: E11ReaderBlocking},
+		{ID: "e12", Run: E12SelfMaintainability},
+		{ID: "e13", Run: E13RelevantUpdates},
+		{ID: "e14", Run: E14FreshQueries},
+	}
+}

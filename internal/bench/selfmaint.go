@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dvm/internal/algebra"
+	"dvm/internal/bag"
+	"dvm/internal/delta"
+)
+
+// E12SelfMaintainability quantifies the Section 1.2 observation that
+// select-project views are self-maintainable [GJM96] and therefore never
+// see the state bug: for such views the naive post-state evaluation of
+// the pre-update equations agrees with the post-update algorithm under
+// ARBITRARY multi-table updates, and the differentials never read a base
+// table. Non-self-maintainable views of similar size disagree readily.
+func E12SelfMaintainability() (*Report, error) {
+	r := rand.New(rand.NewSource(121))
+	const trials = 200
+
+	spAgree, spBaseFree, err := selfMaintTrials(r, trials, true)
+	if err != nil {
+		return nil, err
+	}
+	genAgree, genBaseFree, err := selfMaintTrials(r, trials, false)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Report{
+		ID:     "E12",
+		Title:  "Self-maintainable (select-project) views never see the state bug (§1.2, [GJM96])",
+		Notes:  "SP views: naive ≡ post under arbitrary multi-table updates; differentials read no base tables",
+		Header: []string{"view class", "trials", "naive = post", "differentials base-free"},
+		Rows: [][]string{
+			{"select-project (self-maintainable)", fmt.Sprint(trials), fmt.Sprint(spAgree), fmt.Sprint(spBaseFree)},
+			{"general BA views", fmt.Sprint(trials), fmt.Sprint(genAgree), fmt.Sprint(genBaseFree)},
+		},
+	}, nil
+}
+
+// selfMaintTrials compares naive vs post-update on random views,
+// restricted to the self-maintainable class when spOnly is set; it
+// counts agreement and whether the differentials avoid base tables.
+func selfMaintTrials(r *rand.Rand, trials int, spOnly bool) (agree, baseFree int, err error) {
+	u := algebra.NewRandomUniverse(2)
+	done := 0
+	for done < trials {
+		var q algebra.Expr
+		if spOnly {
+			q = randomSPQuery(r, u)
+		} else {
+			q = u.RandomQuery(r, 3)
+			if delta.SelfMaintainable(q) {
+				continue // only genuinely general views in this arm
+			}
+		}
+		done++
+
+		sp := u.RandomState(r)
+		deltas := map[string][2]*bag.Bag{}
+		sc := algebra.MapSource{}
+		log := delta.ChangeSet{}
+		for _, name := range u.Tables {
+			del, ins := u.RandomDelta(r)
+			del = bag.Min(del, sp[name])
+			deltas[name] = [2]*bag.Bag{del, ins}
+			sc[name] = bag.UnionAll(bag.Monus(sp[name], del), ins)
+			log[name] = struct {
+				Deleted  algebra.Expr
+				Inserted algebra.Expr
+			}{algebra.NewLiteral(u.Sch, del), algebra.NewLiteral(u.Sch, ins)}
+		}
+
+		nd, na, err := delta.NaivePostUpdate(log, q)
+		if err != nil {
+			return 0, 0, err
+		}
+		pd, pa, err := delta.PostUpdate(log, q)
+		if err != nil {
+			return 0, 0, err
+		}
+		ndv, err := algebra.Eval(nd, sc)
+		if err != nil {
+			return 0, 0, err
+		}
+		nav, _ := algebra.Eval(na, sc)
+		pdv, _ := algebra.Eval(pd, sc)
+		pav, _ := algebra.Eval(pa, sc)
+		// Agreement on the net effect (applied to the past value), which
+		// is what a maintainer observes.
+		qPast, _ := algebra.Eval(q, sp)
+		naive := bag.UnionAll(bag.Monus(qPast, ndv), nav)
+		post := bag.UnionAll(bag.Monus(qPast, pdv), pav)
+		if naive.Equal(post) {
+			agree++
+		}
+		if !touchesBases(pd, u) && !touchesBases(pa, u) {
+			baseFree++
+		}
+	}
+	return agree, baseFree, nil
+}
+
+// randomSPQuery draws from the self-maintainable class: σ/Π/⊎ over base
+// tables.
+func randomSPQuery(r *rand.Rand, u *algebra.RandomUniverse) algebra.Expr {
+	base := func() algebra.Expr {
+		return algebra.NewBase(u.Tables[r.Intn(len(u.Tables))], u.Sch)
+	}
+	q := base()
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		switch r.Intn(3) {
+		case 0:
+			s, err := algebra.NewSelect(algebra.Gt(algebra.A("a"), algebra.C(r.Intn(4))), q)
+			if err != nil {
+				panic(err)
+			}
+			q = s
+		case 1:
+			p, err := algebra.NewProject([]string{"b", "a"}, []string{"a", "b"}, q)
+			if err != nil {
+				panic(err)
+			}
+			q = p
+		default:
+			un, err := algebra.NewUnionAll(q, base())
+			if err != nil {
+				panic(err)
+			}
+			q = un
+		}
+	}
+	return q
+}
+
+// touchesBases reports whether e references any of the universe's base
+// tables (as opposed to log/delta tables).
+func touchesBases(e algebra.Expr, u *algebra.RandomUniverse) bool {
+	baseSet := map[string]bool{}
+	for _, t := range u.Tables {
+		baseSet[t] = true
+	}
+	for _, name := range algebra.BaseNames(e) {
+		if baseSet[name] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dvm/internal/algebra"
+	"dvm/internal/bag"
+	"dvm/internal/delta"
+	"dvm/internal/schema"
+)
+
+// E1StateBugJoin reproduces Example 1.2: the pre-update incremental
+// queries evaluated in the post-update state over-count the join view's
+// insert bag (4 copies of [a1] instead of the correct 2), while the
+// post-update algorithm is exact.
+func E1StateBugJoin() (*Report, error) {
+	rsch := schema.NewSchema(schema.Col("R.A", schema.TString), schema.Col("R.B", schema.TString))
+	ssch := schema.NewSchema(schema.Col("S.B", schema.TString), schema.Col("S.C", schema.TString))
+	pre := algebra.MapSource{
+		"R": bag.Of(schema.Row("a1", "b1")),
+		"S": bag.Of(schema.Row("b1", "c1"), schema.Row("b2", "c2")),
+	}
+	insR := bag.Of(schema.Row("a1", "b2"))
+	insS := bag.Of(schema.Row("b2", "c2"))
+	post := algebra.MapSource{
+		"R": bag.UnionAll(pre["R"], insR),
+		"S": bag.UnionAll(pre["S"], insS),
+	}
+	join, err := algebra.JoinOn(algebra.NewBase("R", rsch), algebra.NewBase("S", ssch),
+		algebra.Eq(algebra.A("R.B"), algebra.A("S.B")))
+	if err != nil {
+		return nil, err
+	}
+	q, err := algebra.NewProject([]string{"R.A"}, []string{"A"}, join)
+	if err != nil {
+		return nil, err
+	}
+	log := delta.ChangeSet{
+		"R": {Deleted: algebra.NewLiteral(rsch, bag.New()), Inserted: algebra.NewLiteral(rsch, insR)},
+		"S": {Deleted: algebra.NewLiteral(ssch, bag.New()), Inserted: algebra.NewLiteral(ssch, insS)},
+	}
+
+	muPre, err := algebra.Eval(q, pre)
+	if err != nil {
+		return nil, err
+	}
+	muPost, err := algebra.Eval(q, post)
+	if err != nil {
+		return nil, err
+	}
+	correct := muPost.Len() - muPre.Len()
+
+	_, preAdd, err := delta.PreUpdate(log, q)
+	if err != nil {
+		return nil, err
+	}
+	inPre, err := algebra.Eval(preAdd, pre)
+	if err != nil {
+		return nil, err
+	}
+	_, naiveAdd, err := delta.NaivePostUpdate(log, q)
+	if err != nil {
+		return nil, err
+	}
+	inPost, err := algebra.Eval(naiveAdd, post)
+	if err != nil {
+		return nil, err
+	}
+	_, ourAdd, err := delta.PostUpdate(log, q)
+	if err != nil {
+		return nil, err
+	}
+	ours, err := algebra.Eval(ourAdd, post)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Report{
+		ID:     "E1",
+		Title:  "State bug on a join view (Example 1.2): △MU multiplicity of [a1]",
+		Notes:  fmt.Sprintf("paper: pre-state evaluation gives 2, post-state naive gives 4; correct net insert is %d", correct),
+		Header: []string{"method", "state evaluated in", "|△MU|", "correct?"},
+		Rows: [][]string{
+			{"pre-update alg [BLT86]", "pre-update", fmt.Sprint(inPre.Len()), yes(inPre.Len() == correct)},
+			{"pre-update alg (naive)", "post-update", fmt.Sprint(inPost.Len()), yes(inPost.Len() == correct)},
+			{"post-update alg (ours)", "post-update", fmt.Sprint(ours.Len()), yes(ours.Len() == correct)},
+		},
+	}, nil
+}
+
+// E2StateBugDiff reproduces Example 1.3: U = R − S; moving [b] from R to
+// S. The naive post-state evaluation computes ∇MU = ∅ and leaves the
+// stale [b] in the view.
+func E2StateBugDiff() (*Report, error) {
+	sch := schema.NewSchema(schema.Col("x", schema.TString))
+	pre := algebra.MapSource{
+		"R": bag.Of(schema.Row("a"), schema.Row("b"), schema.Row("c")),
+		"S": bag.Of(schema.Row("c"), schema.Row("d")),
+	}
+	delR := bag.Of(schema.Row("b"))
+	insS := bag.Of(schema.Row("b"))
+	post := algebra.MapSource{
+		"R": bag.Monus(pre["R"], delR),
+		"S": bag.UnionAll(pre["S"], insS),
+	}
+	q, err := algebra.NewMonus(algebra.NewBase("R", sch), algebra.NewBase("S", sch))
+	if err != nil {
+		return nil, err
+	}
+	log := delta.ChangeSet{
+		"R": {Deleted: algebra.NewLiteral(sch, delR), Inserted: algebra.NewLiteral(sch, bag.New())},
+		"S": {Deleted: algebra.NewLiteral(sch, bag.New()), Inserted: algebra.NewLiteral(sch, insS)},
+	}
+
+	muPre, _ := algebra.Eval(q, pre)   // {a,b}
+	muPost, _ := algebra.Eval(q, post) // {a}
+
+	apply := func(del, add algebra.Expr, st algebra.MapSource) (*bag.Bag, error) {
+		dv, err := algebra.Eval(del, st)
+		if err != nil {
+			return nil, err
+		}
+		av, err := algebra.Eval(add, st)
+		if err != nil {
+			return nil, err
+		}
+		return bag.UnionAll(bag.Monus(muPre, dv), av), nil
+	}
+
+	preDel, preAdd, err := delta.PreUpdate(log, q)
+	if err != nil {
+		return nil, err
+	}
+	fromPre, err := apply(preDel, preAdd, pre)
+	if err != nil {
+		return nil, err
+	}
+	nDel, nAdd, err := delta.NaivePostUpdate(log, q)
+	if err != nil {
+		return nil, err
+	}
+	fromNaive, err := apply(nDel, nAdd, post)
+	if err != nil {
+		return nil, err
+	}
+	oDel, oAdd, err := delta.PostUpdate(log, q)
+	if err != nil {
+		return nil, err
+	}
+	fromOurs, err := apply(oDel, oAdd, post)
+	if err != nil {
+		return nil, err
+	}
+
+	row := func(name, state string, got *bag.Bag) []string {
+		return []string{name, state, got.String(), yes(got.Equal(muPost))}
+	}
+	return &Report{
+		ID:     "E2",
+		Title:  "State bug on a difference view (Example 1.3): refreshed MU",
+		Notes:  fmt.Sprintf("correct refreshed view is %s; the naive method keeps the deleted tuple [b]", muPost),
+		Header: []string{"method", "state evaluated in", "refreshed MU", "correct?"},
+		Rows: [][]string{
+			row("pre-update alg [QW91/GL95]", "pre-update", fromPre),
+			row("pre-update alg (naive)", "post-update", fromNaive),
+			row("post-update alg (ours)", "post-update", fromOurs),
+		},
+	}, nil
+}
+
+// E6RestrictedClass quantifies Remark 1: within the restricted class
+// (SPJ, no self-joins, single-table updates) the naive and post-update
+// equations agree; each relaxation manufactures disagreements.
+func E6RestrictedClass() (*Report, error) {
+	r := rand.New(rand.NewSource(99))
+	trials := 200
+
+	spjAgree, spjTotal, err := remark1Trials(r, trials, false, false)
+	if err != nil {
+		return nil, err
+	}
+	multiAgree, multiTotal, err := remark1Trials(r, trials, true, false)
+	if err != nil {
+		return nil, err
+	}
+	selfAgree, selfTotal, err := remark1Trials(r, trials, false, true)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Report{
+		ID:     "E6",
+		Title:  "Remark 1: when does the pre-update algorithm survive post-state evaluation?",
+		Notes:  "restricted class must agree 100%; relaxations must show disagreements",
+		Header: []string{"class", "trials", "agree", "disagree"},
+		Rows: [][]string{
+			{"SPJ, no self-join, single-table update", fmt.Sprint(spjTotal), fmt.Sprint(spjAgree), fmt.Sprint(spjTotal - spjAgree)},
+			{"SPJ, no self-join, TWO-table update", fmt.Sprint(multiTotal), fmt.Sprint(multiAgree), fmt.Sprint(multiTotal - multiAgree)},
+			{"SPJ with SELF-JOIN, single-table update", fmt.Sprint(selfTotal), fmt.Sprint(selfAgree), fmt.Sprint(selfTotal - selfAgree)},
+		},
+	}, nil
+}
+
+// remark1Trials runs randomized naive-vs-post comparisons over SPJ joins.
+// multiTable updates both join inputs; selfJoin joins R with itself.
+func remark1Trials(r *rand.Rand, trials int, multiTable, selfJoin bool) (agree, total int, err error) {
+	rsch := schema.NewSchema(schema.Col("R.k", schema.TInt), schema.Col("R.v", schema.TInt))
+	ssch := schema.NewSchema(schema.Col("S.k", schema.TInt), schema.Col("S.w", schema.TInt))
+	for i := 0; i < trials; i++ {
+		pre := algebra.MapSource{"R": bag.New(), "S": bag.New()}
+		for j, n := 0, 2+r.Intn(6); j < n; j++ {
+			pre["R"].Add(schema.Row(r.Intn(3), r.Intn(3)), 1)
+		}
+		for j, n := 0, 2+r.Intn(6); j < n; j++ {
+			pre["S"].Add(schema.Row(r.Intn(3), r.Intn(3)), 1)
+		}
+
+		var q algebra.Expr
+		if selfJoin {
+			l := algebra.Qualified(algebra.NewBase("R", rsch), "l")
+			rr := algebra.Qualified(algebra.NewBase("R", rsch), "r")
+			j, jerr := algebra.JoinOn(l, rr, algebra.Eq(algebra.A("l.k"), algebra.A("r.k")))
+			if jerr != nil {
+				return 0, 0, jerr
+			}
+			q, err = algebra.NewProject([]string{"l.v", "r.v"}, []string{"v1", "v2"}, j)
+		} else {
+			j, jerr := algebra.JoinOn(algebra.NewBase("R", rsch), algebra.NewBase("S", ssch),
+				algebra.Eq(algebra.A("R.k"), algebra.A("S.k")))
+			if jerr != nil {
+				return 0, 0, jerr
+			}
+			q, err = algebra.NewProject([]string{"R.v", "S.w"}, nil, j)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+
+		randBag := func(n int) *bag.Bag {
+			b := bag.New()
+			for j := 0; j < n; j++ {
+				b.Add(schema.Row(r.Intn(3), r.Intn(3)), 1)
+			}
+			return b
+		}
+		delR := bag.Min(randBag(1+r.Intn(2)), pre["R"])
+		insR := randBag(1 + r.Intn(2))
+		post := algebra.MapSource{
+			"R": bag.UnionAll(bag.Monus(pre["R"], delR), insR),
+			"S": pre["S"],
+		}
+		log := delta.ChangeSet{"R": {
+			Deleted:  algebra.NewLiteral(rsch, delR),
+			Inserted: algebra.NewLiteral(rsch, insR),
+		}}
+		if multiTable {
+			delS := bag.Min(randBag(1+r.Intn(2)), pre["S"])
+			insS := randBag(1 + r.Intn(2))
+			post["S"] = bag.UnionAll(bag.Monus(pre["S"], delS), insS)
+			log["S"] = struct {
+				Deleted  algebra.Expr
+				Inserted algebra.Expr
+			}{algebra.NewLiteral(ssch, delS), algebra.NewLiteral(ssch, insS)}
+		}
+
+		nd, na, err := delta.NaivePostUpdate(log, q)
+		if err != nil {
+			return 0, 0, err
+		}
+		pd, pa, err := delta.PostUpdate(log, q)
+		if err != nil {
+			return 0, 0, err
+		}
+		ndv, err := algebra.Eval(nd, post)
+		if err != nil {
+			return 0, 0, err
+		}
+		nav, _ := algebra.Eval(na, post)
+		pdv, _ := algebra.Eval(pd, post)
+		pav, _ := algebra.Eval(pa, post)
+		total++
+		if ndv.Equal(pdv) && nav.Equal(pav) {
+			agree++
+		}
+	}
+	return agree, total, nil
+}
+
+func yes(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}

@@ -1,0 +1,647 @@
+// Package core implements the paper's contribution: deferred view
+// maintenance as invariant maintenance (Section 3) with the algorithms of
+// Figure 3. It manages materialized views under four scenarios:
+//
+//	Immediate  — INV_IM:  Q ≡ MV
+//	BaseLogs   — INV_BL:  PAST(L,Q) ≡ MV
+//	DiffTables — INV_DT:  Q ≡ (MV ∸ ∇MV) ⊎ △MV
+//	Combined   — INV_C:   PAST(L,Q) ≡ (MV ∸ ∇MV) ⊎ △MV
+//
+// User transactions are routed through Execute, which augments them with
+// the makesafe_* bookkeeping for every registered view and applies the
+// whole thing with simultaneous (T1 + T2) semantics. Refresh, Propagate,
+// and PartialRefresh implement the corresponding Figure 3 transactions.
+// View downtime (exclusive-lock hold during refresh) is measured through
+// a txn.LockManager.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dvm/internal/algebra"
+	"dvm/internal/delta"
+	"dvm/internal/schema"
+	"dvm/internal/storage"
+	"dvm/internal/txn"
+)
+
+// Scenario selects a maintenance scenario (Figure 1).
+type Scenario uint8
+
+// The four scenarios of the paper.
+const (
+	Immediate  Scenario = iota // INV_IM
+	BaseLogs                   // INV_BL
+	DiffTables                 // INV_DT
+	Combined                   // INV_C
+)
+
+// String names the scenario after its invariant.
+func (s Scenario) String() string {
+	switch s {
+	case Immediate:
+		return "IM"
+	case BaseLogs:
+		return "BL"
+	case DiffTables:
+		return "DT"
+	case Combined:
+		return "C"
+	}
+	return fmt.Sprintf("Scenario(%d)", uint8(s))
+}
+
+// View is a materialized view registered with a Manager.
+type View struct {
+	Name     string
+	Def      algebra.Expr
+	Scenario Scenario
+
+	// StrongMinimal applies the Section 4.1 strong-minimality post-pass
+	// to incremental queries, keeping ∇MV/△MV disjoint.
+	StrongMinimal bool
+
+	mvName string   // the MV table
+	bases  []string // base tables referenced by Def
+
+	// BaseLogs / Combined: per-base log tables (▼R, ▲R).
+	logDel map[string]string
+	logIns map[string]string
+
+	// logFilter restricts what makesafe records per base table
+	// (relevant-update detection, see WithLogFilter). logFilterFn holds
+	// the predicates bound against each table's schema.
+	logFilter   map[string]algebra.Predicate
+	logFilterFn map[string]func(schema.Tuple) bool
+
+	// DiffTables / Combined: view differential tables (∇MV, △MV).
+	dtDel string
+	dtAdd string
+
+	// Precompiled incremental queries. Transaction-relative queries read
+	// the shared per-base scratch tables (∇R/△R of the current txn);
+	// log-relative queries read this view's log tables.
+	imDel, imAdd algebra.Expr // ∇(T,Q), △(T,Q): pre-update state
+	blDel, blAdd algebra.Expr // ▼(L,Q), ▲(L,Q): post-update state
+
+	// Precompiled makesafe assignments (Figure 3), reused every Execute.
+	safeAssigns []txn.Assignment
+
+	Stats ViewStats
+}
+
+// MVTable returns the name of the view's materialized table.
+func (v *View) MVTable() string { return v.mvName }
+
+// IncrementalQueries exposes the view's precompiled incremental queries
+// for inspection (EXPLAIN): for Immediate/DiffTables views the
+// pre-update pair (∇(T,Q), △(T,Q)) over the transaction scratch tables;
+// for BaseLogs/Combined views the post-update pair (▼(L,Q), ▲(L,Q))
+// over the view's log tables. Nil for kinds the scenario does not use.
+func (v *View) IncrementalQueries() (del, add algebra.Expr) {
+	switch v.Scenario {
+	case Immediate, DiffTables:
+		return v.imDel, v.imAdd
+	default:
+		return v.blDel, v.blAdd
+	}
+}
+
+// InvariantString renders the scenario's Figure 1 invariant with the
+// view's own table names.
+func (v *View) InvariantString() string {
+	switch v.Scenario {
+	case Immediate:
+		return fmt.Sprintf("Q ≡ %s", v.mvName)
+	case BaseLogs:
+		return fmt.Sprintf("PAST(L,Q) ≡ %s", v.mvName)
+	case DiffTables:
+		return fmt.Sprintf("Q ≡ (%s ∸ %s) ⊎ %s", v.mvName, v.dtDel, v.dtAdd)
+	case Combined:
+		return fmt.Sprintf("PAST(L,Q) ≡ (%s ∸ %s) ⊎ %s", v.mvName, v.dtDel, v.dtAdd)
+	}
+	return "?"
+}
+
+// BaseTables returns the base tables the view definition references.
+func (v *View) BaseTables() []string { return append([]string(nil), v.bases...) }
+
+// ViewStats accumulates per-view maintenance costs.
+type ViewStats struct {
+	MakeSafeTime  time.Duration // time spent in makesafe bookkeeping
+	MakeSafeOps   int
+	RefreshTime   time.Duration // wall time of refresh transactions
+	Refreshes     int
+	PropagateTime time.Duration
+	Propagates    int
+	PartialTime   time.Duration
+	PartialCount  int
+	RecomputeTime time.Duration
+	Recomputes    int
+	LogTuples     int // tuples appended to logs by makesafe
+	DiffTuples    int // tuples folded into differential tables
+}
+
+// Manager owns a database plus the registered views and performs all
+// maintenance. It is not safe for concurrent writers; concurrent readers
+// (Query) are safe against refreshes through per-view locks.
+type Manager struct {
+	db    *storage.Database
+	locks *txn.LockManager
+	views map[string]*View
+	order []string // registration order for deterministic iteration
+
+	scratchDel map[string]string // base table -> scratch ∇R table
+	scratchIns map[string]string // base table -> scratch △R table
+
+	// slowLogAppend disables the O(|∇R|+|△R|) in-place log fast path,
+	// forcing the algebraic makesafe_BL assignments instead. The two are
+	// equivalent (property-tested); the flag exists for that cross-check
+	// and for ablation benchmarks.
+	slowLogAppend bool
+
+	// shared, when non-nil, replaces per-view log upkeep with shared
+	// per-table logs (see WithSharedLogs).
+	shared *sharedState
+}
+
+// NewManager wraps a database.
+func NewManager(db *storage.Database, opts ...ManagerOption) *Manager {
+	m := &Manager{
+		db:         db,
+		locks:      txn.NewLockManager(),
+		views:      make(map[string]*View),
+		scratchDel: make(map[string]string),
+		scratchIns: make(map[string]string),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// SetSlowLogAppend forces Execute to maintain logs through the
+// algebraic Figure 3 assignments (O(|log|) per transaction) instead of
+// the equivalent in-place appends (O(|change|)). For tests and
+// ablations.
+func (m *Manager) SetSlowLogAppend(on bool) { m.slowLogAppend = on }
+
+// DB exposes the underlying database (for queries and tests).
+func (m *Manager) DB() *storage.Database { return m.db }
+
+// Locks exposes the lock manager (for downtime statistics).
+func (m *Manager) Locks() *txn.LockManager { return m.locks }
+
+// View returns a registered view.
+func (m *Manager) View(name string) (*View, error) {
+	v, ok := m.views[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no view %q", name)
+	}
+	return v, nil
+}
+
+// Views returns all registered views in registration order.
+func (m *Manager) Views() []*View {
+	out := make([]*View, len(m.order))
+	for i, n := range m.order {
+		out[i] = m.views[n]
+	}
+	return out
+}
+
+// Option configures a view at definition time.
+type Option func(*View)
+
+// WithStrongMinimality turns on the strong-minimality post-pass for the
+// view's incremental queries (Section 4.1).
+func WithStrongMinimality() Option {
+	return func(v *View) { v.StrongMinimal = true }
+}
+
+// WithLogFilter records only the RELEVANT changes of one base table in
+// the view's log: tuples satisfying pred. This is the classic
+// relevant-update detection of the snapshot literature the paper cites
+// ([KR87], [SP89]) lifted into the Figure 3 framework.
+//
+// Correctness requires that the filter not change the view:
+// Q ≡ Q[σ_pred(R)/R] must hold (e.g. pred is a conjunct of Q's selection
+// that mentions only R's columns). DefineView enforces a necessary
+// condition by checking the equivalence on the current state; the
+// maintenance invariants then keep verifying it on every state the
+// tests visit. Irrelevant rows never enter the log, so both log volume
+// and refresh work scale with the view's selectivity.
+//
+// Not supported together with shared logs (different views want
+// different filters over one shared stream).
+func WithLogFilter(table string, pred algebra.Predicate) Option {
+	return func(v *View) {
+		if v.logFilter == nil {
+			v.logFilter = map[string]algebra.Predicate{}
+		}
+		v.logFilter[table] = pred
+	}
+}
+
+// DefineView registers a materialized view, creates its MV table and the
+// scenario's auxiliary tables, initializes MV to the current value of the
+// definition, and precompiles the incremental queries.
+func (m *Manager) DefineView(name string, def algebra.Expr, sc Scenario, opts ...Option) (*View, error) {
+	if _, dup := m.views[name]; dup {
+		return nil, fmt.Errorf("core: view %q already defined", name)
+	}
+	bases := algebra.BaseNames(def)
+	for _, b := range bases {
+		tb, err := m.db.Table(b)
+		if err != nil {
+			return nil, fmt.Errorf("core: view %q: %w", name, err)
+		}
+		if tb.Kind() != storage.External {
+			return nil, fmt.Errorf("core: view %q references internal table %q", name, b)
+		}
+	}
+
+	v := &View{
+		Name:     name,
+		Def:      def,
+		Scenario: sc,
+		mvName:   "__mv_" + name,
+		bases:    bases,
+		logDel:   map[string]string{},
+		logIns:   map[string]string{},
+	}
+	for _, o := range opts {
+		o(v)
+	}
+	if err := m.validateLogFilters(v); err != nil {
+		return nil, err
+	}
+
+	if _, err := m.db.Create(v.mvName, def.Schema(), storage.Internal); err != nil {
+		return nil, err
+	}
+	cleanup := func(err error) (*View, error) {
+		_ = m.db.Drop(v.mvName)
+		return nil, err
+	}
+
+	// Materialize the initial contents.
+	init, err := algebra.Eval(def, m.db)
+	if err != nil {
+		return cleanup(err)
+	}
+	mv, _ := m.db.Table(v.mvName)
+	mv.Replace(init)
+
+	// Shared scratch tables holding the current transaction's ∇R/△R.
+	for _, b := range bases {
+		if _, ok := m.scratchDel[b]; ok {
+			continue
+		}
+		tb, _ := m.db.Table(b)
+		dn, in := "__tx_del_"+b, "__tx_ins_"+b
+		if _, err := m.db.Create(dn, tb.Schema(), storage.Internal); err != nil {
+			return cleanup(err)
+		}
+		if _, err := m.db.Create(in, tb.Schema(), storage.Internal); err != nil {
+			return cleanup(err)
+		}
+		m.scratchDel[b] = dn
+		m.scratchIns[b] = in
+	}
+
+	switch sc {
+	case BaseLogs, Combined:
+		for _, b := range bases {
+			tb, _ := m.db.Table(b)
+			dn := fmt.Sprintf("__log_del_%s__%s", b, name)
+			in := fmt.Sprintf("__log_ins_%s__%s", b, name)
+			if _, err := m.db.Create(dn, tb.Schema(), storage.Internal); err != nil {
+				return cleanup(err)
+			}
+			if _, err := m.db.Create(in, tb.Schema(), storage.Internal); err != nil {
+				return cleanup(err)
+			}
+			v.logDel[b] = dn
+			v.logIns[b] = in
+		}
+		if m.shared != nil {
+			if err := m.registerSharedView(v); err != nil {
+				return cleanup(err)
+			}
+		}
+	}
+	switch sc {
+	case DiffTables, Combined:
+		v.dtDel = "__dmv_del_" + name
+		v.dtAdd = "__dmv_add_" + name
+		if _, err := m.db.Create(v.dtDel, def.Schema(), storage.Internal); err != nil {
+			return cleanup(err)
+		}
+		if _, err := m.db.Create(v.dtAdd, def.Schema(), storage.Internal); err != nil {
+			return cleanup(err)
+		}
+	}
+
+	if err := m.compile(v); err != nil {
+		return cleanup(err)
+	}
+
+	m.views[name] = v
+	m.order = append(m.order, name)
+	return v, nil
+}
+
+// DropView unregisters a view and drops its MV and auxiliary tables.
+// Shared scratch tables stay (other views may use them).
+func (m *Manager) DropView(name string) error {
+	v, err := m.View(name)
+	if err != nil {
+		return err
+	}
+	_ = m.db.Drop(v.mvName)
+	for _, b := range v.bases {
+		if n, ok := v.logDel[b]; ok {
+			_ = m.db.Drop(n)
+		}
+		if n, ok := v.logIns[b]; ok {
+			_ = m.db.Drop(n)
+		}
+	}
+	if v.dtDel != "" {
+		_ = m.db.Drop(v.dtDel)
+		_ = m.db.Drop(v.dtAdd)
+	}
+	m.unregisterSharedView(v)
+	delete(m.views, name)
+	for i, n := range m.order {
+		if n == name {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// validateLogFilters checks the preconditions of WithLogFilter: the
+// scenario logs, shared logs are off, each filtered table is a base of
+// the view, the predicate binds against the table's schema, and the
+// equivalence Q ≡ Q[σ_p(R)/R] holds on the current state (a necessary
+// condition; the caller warrants it for all states). It also binds the
+// predicates for the append fast path.
+func (m *Manager) validateLogFilters(v *View) error {
+	if len(v.logFilter) == 0 {
+		return nil
+	}
+	if v.Scenario != BaseLogs && v.Scenario != Combined {
+		return fmt.Errorf("core: view %q: log filters need a logging scenario, not %v", v.Name, v.Scenario)
+	}
+	if m.shared != nil {
+		return fmt.Errorf("core: view %q: log filters are not supported with shared logs", v.Name)
+	}
+	v.logFilterFn = map[string]func(schema.Tuple) bool{}
+	repl := map[string]algebra.Expr{}
+	for table, pred := range v.logFilter {
+		found := false
+		for _, b := range v.bases {
+			if b == table {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: view %q: log filter on %q, which the view does not reference", v.Name, table)
+		}
+		tb, err := m.db.Table(table)
+		if err != nil {
+			return err
+		}
+		fn, err := pred.Bind(tb.Schema())
+		if err != nil {
+			return fmt.Errorf("core: view %q: log filter on %q: %w", v.Name, table, err)
+		}
+		v.logFilterFn[table] = fn
+		sel, err := algebra.NewSelect(pred, algebra.NewBase(table, tb.Schema()))
+		if err != nil {
+			return err
+		}
+		repl[table] = sel
+	}
+	filtered, err := algebra.Substitute(v.Def, repl)
+	if err != nil {
+		return err
+	}
+	want, err := algebra.Eval(v.Def, m.db)
+	if err != nil {
+		return err
+	}
+	got, err := algebra.Eval(filtered, m.db)
+	if err != nil {
+		return err
+	}
+	if !got.Equal(want) {
+		return fmt.Errorf("core: view %q: log filter changes the view on the current state (Q ≢ Q[σ_p(R)/R])", v.Name)
+	}
+	return nil
+}
+
+// txnChangeSet builds the transaction-relative change set: each base
+// table's ∇R/△R come from the shared scratch tables.
+func (m *Manager) txnChangeSet(v *View) delta.ChangeSet {
+	cs := delta.ChangeSet{}
+	for _, b := range v.bases {
+		tb, _ := m.db.Table(b)
+		cs[b] = struct {
+			Deleted  algebra.Expr
+			Inserted algebra.Expr
+		}{
+			Deleted:  algebra.NewBase(m.scratchDel[b], tb.Schema()),
+			Inserted: algebra.NewBase(m.scratchIns[b], tb.Schema()),
+		}
+	}
+	return cs
+}
+
+// logChangeSet builds the log-relative change set over the view's own
+// log tables.
+func (m *Manager) logChangeSet(v *View) delta.ChangeSet {
+	cs := delta.ChangeSet{}
+	for _, b := range v.bases {
+		tb, _ := m.db.Table(b)
+		cs[b] = struct {
+			Deleted  algebra.Expr
+			Inserted algebra.Expr
+		}{
+			Deleted:  algebra.NewBase(v.logDel[b], tb.Schema()),
+			Inserted: algebra.NewBase(v.logIns[b], tb.Schema()),
+		}
+	}
+	return cs
+}
+
+// compile precompiles the view's incremental queries and makesafe
+// assignments for its scenario.
+func (m *Manager) compile(v *View) error {
+	switch v.Scenario {
+	case Immediate, DiffTables:
+		d, a, err := delta.PreUpdate(m.txnChangeSet(v), v.Def)
+		if err != nil {
+			return err
+		}
+		if v.StrongMinimal {
+			if d, a, err = delta.StrengthenMinimality(d, a); err != nil {
+				return err
+			}
+		}
+		v.imDel, v.imAdd = algebra.OptimizePair(d, a)
+	}
+	switch v.Scenario {
+	case BaseLogs, Combined:
+		d, a, err := delta.PostUpdate(m.logChangeSet(v), v.Def)
+		if err != nil {
+			return err
+		}
+		if v.StrongMinimal {
+			if d, a, err = delta.StrengthenMinimality(d, a); err != nil {
+				return err
+			}
+		}
+		v.blDel, v.blAdd = algebra.OptimizePair(d, a)
+	}
+
+	switch v.Scenario {
+	case Immediate:
+		// makesafe_IM: MV := (MV ∸ ∇(T,Q)) ⊎ △(T,Q).
+		mvE := m.baseExpr(v.mvName)
+		upd, err := applyDelta(mvE, v.imDel, v.imAdd)
+		if err != nil {
+			return err
+		}
+		v.safeAssigns = []txn.Assignment{{Table: v.mvName, Expr: upd}}
+
+	case BaseLogs, Combined:
+		// makesafe_BL (= makesafe_C): extend the log, weakly minimally:
+		//   ▼R := ▼R ⊎ (∇R ∸ ▲R)
+		//   ▲R := (▲R ∸ ∇R) ⊎ △R
+		// Execute normally runs these via the O(|∇R|+|△R|) in-place fast
+		// path (appendToLogs); the algebraic assignments built here are
+		// the reference form, used by tests to cross-check the fast path
+		// and by callers that disable it.
+		for _, b := range v.bases {
+			tb, _ := m.db.Table(b)
+			sch := tb.Schema()
+			delLog := algebra.NewBase(v.logDel[b], sch)
+			insLog := algebra.NewBase(v.logIns[b], sch)
+			var txDel, txIns algebra.Expr = algebra.NewBase(m.scratchDel[b], sch), algebra.NewBase(m.scratchIns[b], sch)
+			if pred, ok := v.logFilter[b]; ok {
+				// Relevant-update detection: only σ_p of the change
+				// reaches the log (WithLogFilter).
+				sd, err := algebra.NewSelect(pred, txDel)
+				if err != nil {
+					return err
+				}
+				si, err := algebra.NewSelect(pred, txIns)
+				if err != nil {
+					return err
+				}
+				txDel, txIns = sd, si
+			}
+
+			newOld, err := algebra.NewMonus(txDel, insLog) // ∇R ∸ ▲R
+			if err != nil {
+				return err
+			}
+			delRHS, err := algebra.NewUnionAll(delLog, newOld)
+			if err != nil {
+				return err
+			}
+			insKeep, err := algebra.NewMonus(insLog, txDel) // ▲R ∸ ∇R
+			if err != nil {
+				return err
+			}
+			insRHS, err := algebra.NewUnionAll(insKeep, txIns)
+			if err != nil {
+				return err
+			}
+			v.safeAssigns = append(v.safeAssigns,
+				txn.Assignment{Table: v.logDel[b], Expr: delRHS},
+				txn.Assignment{Table: v.logIns[b], Expr: insRHS},
+			)
+		}
+
+	case DiffTables:
+		// makesafe_DT: fold ∇(T,Q)/△(T,Q) into the differential tables:
+		//   ∇MV := ∇MV ⊎ (∇(T,Q) ∸ △MV)
+		//   △MV := (△MV ∸ ∇(T,Q)) ⊎ △(T,Q)
+		assigns, err := m.foldAssigns(v, v.imDel, v.imAdd)
+		if err != nil {
+			return err
+		}
+		v.safeAssigns = assigns
+	}
+	return nil
+}
+
+// foldAssigns builds the composition-lemma fold of (del, add) into the
+// view's differential tables (used by makesafe_DT and propagate_C). When
+// the view uses strong minimality, the folded tables are additionally
+// kept disjoint — the "strongly minimal analog of Lemma 3" the paper
+// sketches in Section 5.3: tuples present in both ∇MV and △MV cancel,
+// which preserves (MV ∸ ∇MV) ⊎ △MV because ∇MV ⊑ MV.
+func (m *Manager) foldAssigns(v *View, del, add algebra.Expr) ([]txn.Assignment, error) {
+	dtDel := m.baseExpr(v.dtDel)
+	dtAdd := m.baseExpr(v.dtAdd)
+	newDel, err := algebra.NewMonus(del, dtAdd) // del ∸ △MV
+	if err != nil {
+		return nil, err
+	}
+	delRHS, err := algebra.NewUnionAll(dtDel, newDel)
+	if err != nil {
+		return nil, err
+	}
+	addKeep, err := algebra.NewMonus(dtAdd, del) // △MV ∸ del
+	if err != nil {
+		return nil, err
+	}
+	addRHS, err := algebra.NewUnionAll(addKeep, add)
+	if err != nil {
+		return nil, err
+	}
+	var delOut, addOut algebra.Expr = delRHS, addRHS
+	if v.StrongMinimal {
+		if delOut, addOut, err = delta.StrengthenMinimality(delOut, addOut); err != nil {
+			return nil, err
+		}
+	}
+	return []txn.Assignment{
+		{Table: v.dtDel, Expr: delOut},
+		{Table: v.dtAdd, Expr: addOut},
+	}, nil
+}
+
+// baseExpr builds a Base reference for an existing table.
+func (m *Manager) baseExpr(name string) algebra.Expr {
+	tb, err := m.db.Table(name)
+	if err != nil {
+		panic(fmt.Sprintf("core: baseExpr(%s): %v", name, err))
+	}
+	return algebra.NewBase(name, tb.Schema())
+}
+
+// applyDelta builds (target ∸ del) ⊎ add.
+func applyDelta(target, del, add algebra.Expr) (algebra.Expr, error) {
+	mo, err := algebra.NewMonus(target, del)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.NewUnionAll(mo, add)
+}
+
+// emptyAssign builds Table := ∅.
+func (m *Manager) emptyAssign(name string) txn.Assignment {
+	tb, err := m.db.Table(name)
+	if err != nil {
+		panic(fmt.Sprintf("core: emptyAssign(%s): %v", name, err))
+	}
+	return txn.Assignment{Table: name, Expr: algebra.Empty(tb.Schema())}
+}

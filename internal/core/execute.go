@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dvm/internal/bag"
+	"dvm/internal/schema"
+	"dvm/internal/txn"
+)
+
+// Execute runs a user transaction through makesafe: the transaction is
+// normalized to weak minimality, extended with every view's Figure 3
+// bookkeeping, and the whole bundle is applied with simultaneous (T1+T2)
+// semantics so that no auxiliary update sees another's effect.
+//
+// Immediate views have their MV table updated inside the transaction (and
+// write-locked while it installs); BaseLogs/Combined views only append to
+// their logs; DiffTables views fold the pre-update incremental queries
+// into their differential tables.
+func (m *Manager) Execute(t txn.Txn) error {
+	if name, bad := t.TouchesInternal(m.db); bad {
+		return fmt.Errorf("core: user transaction writes internal table %q", name)
+	}
+	nt, err := t.Normalize(m.db)
+	if err != nil {
+		return err
+	}
+	// Validate every inserted tuple before any bookkeeping mutates state,
+	// so a rejected transaction leaves logs and scratch tables untouched.
+	for name, u := range nt {
+		tb, err := m.db.Table(name)
+		if err != nil {
+			return err
+		}
+		var verr error
+		u.Insert.Each(func(tu schema.Tuple, _ int) {
+			if verr == nil {
+				verr = tb.Schema().Validate(tu)
+			}
+		})
+		if verr != nil {
+			return fmt.Errorf("core: transaction inserts into %s: %w", name, verr)
+		}
+	}
+
+	start := time.Now()
+
+	// Publish the transaction's ∇R/△R into the shared scratch tables so
+	// precompiled incremental queries can read them.
+	for base, dn := range m.scratchDel {
+		sd, _ := m.db.Table(dn)
+		si, _ := m.db.Table(m.scratchIns[base])
+		if u, ok := nt[base]; ok {
+			sd.Replace(u.Delete.Clone())
+			si.Replace(u.Insert.Clone())
+		} else {
+			sd.Clear()
+			si.Clear()
+		}
+	}
+
+	// Assemble the auxiliary assignments (every view's makesafe
+	// bookkeeping). The user's own base-table updates are applied in
+	// place AFTER these evaluate: every auxiliary right-hand side reads
+	// the pre-update state, so evaluating them first and mutating the
+	// base tables last realizes the simultaneous (T1+T2) semantics while
+	// keeping the base update O(|change|) instead of O(|table|).
+	assigns := make([]txn.Assignment, 0, 4*len(m.order))
+	var lockMVs []string
+	affected := make([]*View, 0, len(m.order))
+	for _, vn := range m.order {
+		v := m.views[vn]
+		if !m.viewAffected(v, nt) {
+			continue
+		}
+		affected = append(affected, v)
+		if (v.Scenario == BaseLogs || v.Scenario == Combined) && m.shared != nil {
+			// Shared-log mode: the batch is appended once per TABLE
+			// below, not once per view.
+			continue
+		}
+		if (v.Scenario == BaseLogs || v.Scenario == Combined) && !m.slowLogAppend {
+			// Fast path: the weakly minimal log merge
+			//   ▼R := ▼R ⊎ (∇R ∸ ▲R);  ▲R := (▲R ∸ ∇R) ⊎ △R
+			// reads only the transaction's own deltas and touches only
+			// the delta's tuples, so it can run in place in
+			// O(|∇R|+|△R|) rather than rebuilding the log tables.
+			if err := m.appendToLogs(v, nt); err != nil {
+				return err
+			}
+			continue
+		}
+		assigns = append(assigns, v.safeAssigns...)
+		if v.Scenario == Immediate {
+			lockMVs = append(lockMVs, v.mvName)
+		}
+	}
+
+	if m.shared != nil {
+		// One append per logged table, O(|change|), independent of the
+		// number of views — the Section 7 property.
+		m.appendShared(nt)
+	}
+
+	// Immediate views hold their MV write locks while the transaction
+	// installs — that blocking is exactly the per-transaction overhead
+	// immediate maintenance imposes.
+	apply := func() error {
+		if err := txn.ApplyAssignments(m.db, assigns); err != nil {
+			return err
+		}
+		// Base-table updates, in place: R := (R ∸ ∇R) ⊎ △R with the
+		// effective (weakly minimal) deltas.
+		for name, u := range nt {
+			tb, err := m.db.Table(name)
+			if err != nil {
+				return err
+			}
+			if u.Delete != nil {
+				u.Delete.Each(func(t schema.Tuple, n int) {
+					tb.Data().Remove(t, n)
+				})
+			}
+			if u.Insert != nil {
+				tb.Data().AddBag(u.Insert)
+			}
+		}
+		return nil
+	}
+	if len(lockMVs) > 0 {
+		err = m.locks.WithWrite(lockMVs, apply)
+	} else {
+		err = apply()
+	}
+	if err != nil {
+		return err
+	}
+
+	// Attribute the transaction's maintenance cost evenly across the
+	// affected views; exact per-view separation is not observable since
+	// the bundle applies as one transaction.
+	elapsed := time.Since(start)
+	share := elapsed
+	if len(affected) > 1 {
+		share = elapsed / time.Duration(len(affected))
+	}
+	for _, v := range affected {
+		v.Stats.MakeSafeOps++
+		v.Stats.MakeSafeTime += share
+		switch v.Scenario {
+		case BaseLogs, Combined:
+			for _, b := range v.bases {
+				if u, ok := nt[b]; ok {
+					v.Stats.LogTuples += u.Delete.Len() + u.Insert.Len()
+				}
+			}
+		case DiffTables:
+			dt, _ := m.db.Bag(v.dtDel)
+			at, _ := m.db.Bag(v.dtAdd)
+			v.Stats.DiffTuples = dt.Len() + at.Len()
+		}
+	}
+	return nil
+}
+
+// appendToLogs performs the Figure 3 log extension in place. It is
+// observationally identical to the algebraic assignments of
+// View.safeAssigns (see TestFastLogAppendMatchesAlgebraic): for each
+// table, the bag x = ∇R ∸ ▲R is computed against the PRE-state ▲R
+// before ▲R is mutated, matching simultaneous-assignment semantics.
+func (m *Manager) appendToLogs(v *View, nt txn.Txn) error {
+	for _, b := range v.bases {
+		u, ok := nt[b]
+		if !ok {
+			continue
+		}
+		delLog, err := m.db.Table(v.logDel[b])
+		if err != nil {
+			return err
+		}
+		insLog, err := m.db.Table(v.logIns[b])
+		if err != nil {
+			return err
+		}
+		del := u.Delete
+		if del == nil {
+			del = bag.New()
+		}
+		ins := u.Insert
+		if ins == nil {
+			ins = bag.New()
+		}
+		if fn, ok := v.logFilterFn[b]; ok {
+			// Relevant-update detection (WithLogFilter): only σ_p of the
+			// change reaches this view's log.
+			del = bag.Select(del, fn)
+			ins = bag.Select(ins, fn)
+		}
+		x := bag.Monus(del, insLog.Data()) // ∇R ∸ ▲R, against pre-state ▲R
+		del.Each(func(t schema.Tuple, n int) {
+			insLog.Data().Remove(t, n) // ▲R ∸= ∇R (clamped at zero)
+		})
+		insLog.Data().AddBag(ins) // ⊎ △R
+		delLog.Data().AddBag(x)   // ▼R ⊎= x
+	}
+	return nil
+}
+
+// viewAffected reports whether the transaction touches any base table of
+// the view; unaffected views need no bookkeeping (their ∇R/△R are ∅ and
+// every Figure 3 assignment is the identity).
+func (m *Manager) viewAffected(v *View, t txn.Txn) bool {
+	for _, b := range v.bases {
+		if u, ok := t[b]; ok {
+			if (u.Delete != nil && !u.Delete.Empty()) || (u.Insert != nil && !u.Insert.Empty()) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dvm/internal/algebra"
+	"dvm/internal/bag"
+	"dvm/internal/txn"
+)
+
+// Refresh brings the view table up to date ({INV_*} refresh_* {Q ≡ MV},
+// Figure 3):
+//
+//	IM — no-op (INV_IM already implies Q ≡ MV);
+//	BL — MV := (MV ∸ ▼(L,Q)) ⊎ ▲(L,Q); L := ∅, holding the MV write
+//	     lock for the whole incremental computation (that is the BL
+//	     scenario's downtime);
+//	DT — apply the differential tables (refresh_DT);
+//	C  — propagate_C followed by partial_refresh_C, holding the MV lock
+//	     across both (Policy 1's downtime covers the final propagate).
+func (m *Manager) Refresh(name string) error {
+	v, err := m.View(name)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	defer func() {
+		v.Stats.Refreshes++
+		v.Stats.RefreshTime += time.Since(start)
+	}()
+
+	switch v.Scenario {
+	case Immediate:
+		return nil
+	case BaseLogs:
+		return m.locks.WithWrite([]string{v.mvName}, func() error {
+			if err := m.materializeIfShared(v); err != nil {
+				return err
+			}
+			if err := m.refreshFromLog(v); err != nil {
+				return err
+			}
+			m.consumeWindowIfShared(v)
+			return nil
+		})
+	case DiffTables:
+		return m.locks.WithWrite([]string{v.mvName}, func() error {
+			return m.applyDiffTables(v)
+		})
+	case Combined:
+		return m.locks.WithWrite([]string{v.mvName}, func() error {
+			if err := m.materializeIfShared(v); err != nil {
+				return err
+			}
+			if err := m.propagateLocked(v); err != nil {
+				return err
+			}
+			m.consumeWindowIfShared(v)
+			return m.applyDiffTables(v)
+		})
+	}
+	return fmt.Errorf("core: refresh: unknown scenario %v", v.Scenario)
+}
+
+// refreshFromLog implements refresh_BL: one simultaneous transaction
+// updating MV from the post-update incremental queries and emptying the
+// log.
+func (m *Manager) refreshFromLog(v *View) error {
+	upd, err := applyDelta(m.baseExpr(v.mvName), v.blDel, v.blAdd)
+	if err != nil {
+		return err
+	}
+	assigns := []txn.Assignment{{Table: v.mvName, Expr: upd}}
+	for _, b := range v.bases {
+		assigns = append(assigns, m.emptyAssign(v.logDel[b]), m.emptyAssign(v.logIns[b]))
+	}
+	return txn.ApplyAssignments(m.db, assigns)
+}
+
+// applyDiffTables implements refresh_DT / partial_refresh_C:
+// MV := (MV ∸ ∇MV) ⊎ △MV; ∇MV := ∅; △MV := ∅.
+func (m *Manager) applyDiffTables(v *View) error {
+	upd, err := applyDelta(m.baseExpr(v.mvName), m.baseExpr(v.dtDel), m.baseExpr(v.dtAdd))
+	if err != nil {
+		return err
+	}
+	return txn.ApplyAssignments(m.db, []txn.Assignment{
+		{Table: v.mvName, Expr: upd},
+		m.emptyAssign(v.dtDel),
+		m.emptyAssign(v.dtAdd),
+	})
+}
+
+// Propagate implements propagate_C: fold the log's post-update
+// incremental queries into the differential tables and empty the log,
+// without touching MV (so no view downtime):
+//
+//	∇MV := ∇MV ⊎ (▼(L,Q) ∸ △MV)
+//	△MV := (△MV ∸ ▼(L,Q)) ⊎ ▲(L,Q)
+//	L := ∅
+func (m *Manager) Propagate(name string) error {
+	v, err := m.View(name)
+	if err != nil {
+		return err
+	}
+	if v.Scenario != Combined {
+		return fmt.Errorf("core: propagate is only defined for the Combined scenario (view %q is %v)", name, v.Scenario)
+	}
+	start := time.Now()
+	defer func() {
+		v.Stats.Propagates++
+		v.Stats.PropagateTime += time.Since(start)
+	}()
+	if err := m.materializeIfShared(v); err != nil {
+		return err
+	}
+	if err := m.propagateLocked(v); err != nil {
+		return err
+	}
+	m.consumeWindowIfShared(v)
+	return nil
+}
+
+// materializeIfShared loads the view's shared-log window into its
+// private log tables; no-op in per-view-log mode.
+func (m *Manager) materializeIfShared(v *View) error {
+	if m.shared == nil {
+		return nil
+	}
+	return m.materializeWindow(v)
+}
+
+// consumeWindowIfShared advances the view's shared-log cursors after a
+// successful propagate/refresh and truncates consumed entries.
+func (m *Manager) consumeWindowIfShared(v *View) {
+	if m.shared == nil {
+		return
+	}
+	m.advanceCursors(v)
+}
+
+func (m *Manager) propagateLocked(v *View) error {
+	fold, err := m.foldAssigns(v, v.blDel, v.blAdd)
+	if err != nil {
+		return err
+	}
+	assigns := fold
+	for _, b := range v.bases {
+		assigns = append(assigns, m.emptyAssign(v.logDel[b]), m.emptyAssign(v.logIns[b]))
+	}
+	return txn.ApplyAssignments(m.db, assigns)
+}
+
+// PartialRefresh implements partial_refresh_C: apply the precomputed
+// differential tables to MV ({INV_C} partial_refresh_C {PAST(L,Q) ≡ MV}).
+// This is Policy 2's refresh step and has the minimal possible downtime.
+func (m *Manager) PartialRefresh(name string) error {
+	v, err := m.View(name)
+	if err != nil {
+		return err
+	}
+	if v.Scenario != Combined && v.Scenario != DiffTables {
+		return fmt.Errorf("core: partial refresh needs differential tables (view %q is %v)", name, v.Scenario)
+	}
+	start := time.Now()
+	defer func() {
+		v.Stats.PartialCount++
+		v.Stats.PartialTime += time.Since(start)
+	}()
+	return m.locks.WithWrite([]string{v.mvName}, func() error {
+		return m.applyDiffTables(v)
+	})
+}
+
+// RefreshRecompute is the non-incremental baseline: recompute Q from
+// scratch under the MV write lock and discard all auxiliary state. Used
+// by the incremental-vs-recompute experiment.
+func (m *Manager) RefreshRecompute(name string) error {
+	v, err := m.View(name)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	defer func() {
+		v.Stats.Recomputes++
+		v.Stats.RecomputeTime += time.Since(start)
+	}()
+	return m.locks.WithWrite([]string{v.mvName}, func() error {
+		fresh, err := algebra.Eval(v.Def, m.db)
+		if err != nil {
+			return err
+		}
+		mv, _ := m.db.Table(v.mvName)
+		mv.Replace(fresh)
+		// A recompute reflects the current state, so any pending shared
+		// window is consumed too.
+		if m.shared != nil && (v.Scenario == BaseLogs || v.Scenario == Combined) {
+			m.advanceCursors(v)
+		}
+		for _, b := range v.bases {
+			if n, ok := v.logDel[b]; ok {
+				tb, _ := m.db.Table(n)
+				tb.Clear()
+			}
+			if n, ok := v.logIns[b]; ok {
+				tb, _ := m.db.Table(n)
+				tb.Clear()
+			}
+		}
+		if v.dtDel != "" {
+			tb, _ := m.db.Table(v.dtDel)
+			tb.Clear()
+			tb, _ = m.db.Table(v.dtAdd)
+			tb.Clear()
+		}
+		return nil
+	})
+}
+
+// Query reads the view's materialized table under a shared lock,
+// returning a copy. Reads block while a refresh holds the exclusive
+// lock — the downtime a user experiences.
+func (m *Manager) Query(name string) (*bag.Bag, error) {
+	v, err := m.View(name)
+	if err != nil {
+		return nil, err
+	}
+	var out *bag.Bag
+	err = m.locks.WithRead([]string{v.mvName}, func() error {
+		b, err := m.db.Bag(v.mvName)
+		if err != nil {
+			return err
+		}
+		out = b.Clone()
+		return nil
+	})
+	return out, err
+}

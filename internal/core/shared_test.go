@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dvm/internal/algebra"
+	"dvm/internal/bag"
+	"dvm/internal/schema"
+	"dvm/internal/storage"
+	"dvm/internal/txn"
+)
+
+// buildUniverseManager creates a manager over the random universe with
+// seeded tables.
+func buildUniverseManager(t *testing.T, u *algebra.RandomUniverse, seed *bag.Bag, opts ...ManagerOption) *Manager {
+	t.Helper()
+	db := storage.NewDatabase()
+	for _, name := range u.Tables {
+		tb, err := db.Create(name, u.Sch, storage.External)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Replace(seed.Clone())
+	}
+	return NewManager(db, opts...)
+}
+
+// TestSharedLogEquivalence drives identical streams through a per-view
+// manager and a shared-log manager with several views: after every step
+// the invariants hold in both, and after refreshes both views agree.
+func TestSharedLogEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(909))
+	u := algebra.NewRandomUniverse(2)
+	for trial := 0; trial < 20; trial++ {
+		seed := bag.New()
+		for i, n := 0, r.Intn(8); i < n; i++ {
+			seed.Add(schema.Row(r.Intn(4), r.Intn(4)), 1+r.Intn(2))
+		}
+		perView := buildUniverseManager(t, u, seed)
+		shared := buildUniverseManager(t, u, seed, WithSharedLogs())
+		if !shared.SharedLogsEnabled() || perView.SharedLogsEnabled() {
+			t.Fatal("shared-log flag wrong")
+		}
+
+		defs := []algebra.Expr{u.RandomQuery(r, 3), u.RandomQuery(r, 2)}
+		scs := []Scenario{Combined, BaseLogs}
+		for i, def := range defs {
+			for _, m := range []*Manager{perView, shared} {
+				if _, err := m.DefineView(fmt.Sprintf("v%d", i), def, scs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		for step := 0; step < 8; step++ {
+			tx := txn.Txn{}
+			for _, name := range u.Tables {
+				del, ins := u.RandomDelta(r)
+				tx[name] = txn.Update{Delete: del, Insert: ins}
+			}
+			for _, m := range []*Manager{perView, shared} {
+				if err := m.Execute(tx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := range defs {
+				name := fmt.Sprintf("v%d", i)
+				if err := shared.CheckInvariant(name); err != nil {
+					t.Fatalf("trial %d step %d: shared-mode invariant: %v", trial, step, err)
+				}
+				if err := perView.CheckInvariant(name); err != nil {
+					t.Fatalf("trial %d step %d: per-view invariant: %v", trial, step, err)
+				}
+			}
+			// Occasionally propagate only one view: cursors diverge, the
+			// other view's window must stay intact.
+			if step == 3 {
+				if err := shared.Propagate("v0"); err != nil {
+					t.Fatal(err)
+				}
+				if err := perView.Propagate("v0"); err != nil {
+					t.Fatal(err)
+				}
+				if err := shared.CheckInvariant("v1"); err != nil {
+					t.Fatalf("trial %d: v1 window damaged by v0 propagate: %v", trial, err)
+				}
+			}
+		}
+
+		for i := range defs {
+			name := fmt.Sprintf("v%d", i)
+			for _, m := range []*Manager{perView, shared} {
+				if err := m.Refresh(name); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.CheckConsistent(name); err != nil {
+					t.Fatalf("trial %d view %s: %v", trial, name, err)
+				}
+			}
+			pv, _ := perView.Query(name)
+			sv, _ := shared.Query(name)
+			if !pv.Equal(sv) {
+				t.Fatalf("trial %d: refreshed views disagree:\nper-view: %v\nshared:   %v", trial, pv, sv)
+			}
+		}
+	}
+}
+
+func TestSharedLogTruncation(t *testing.T) {
+	db, def := retailDB(t)
+	m := NewManager(db, WithSharedLogs())
+	if _, err := m.DefineView("a", def, Combined); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DefineView("b", def, BaseLogs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := m.Execute(txn.Insert("sales", bag.Of(saleRow(i%10, i, 1)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.SharedLogVolume("sales") != 5 {
+		t.Fatalf("volume = %d, want 5", m.SharedLogVolume("sales"))
+	}
+	// One view consumes: nothing can be truncated yet (b still needs it).
+	if err := m.Refresh("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.SharedLogVolume("sales") != 5 {
+		t.Fatalf("volume after one consumer = %d, want 5", m.SharedLogVolume("sales"))
+	}
+	// Second view consumes: the log empties.
+	if err := m.Refresh("b"); err != nil {
+		t.Fatal(err)
+	}
+	if m.SharedLogVolume("sales") != 0 {
+		t.Fatalf("volume after all consumers = %d, want 0", m.SharedLogVolume("sales"))
+	}
+	// Dropping a lagging view also unblocks truncation.
+	if err := m.Execute(txn.Insert("sales", bag.Of(saleRow(1, 1, 1)))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Refresh("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.SharedLogVolume("sales") != 1 {
+		t.Fatalf("volume = %d, want 1 (b lags)", m.SharedLogVolume("sales"))
+	}
+	if err := m.DropView("b"); err != nil {
+		t.Fatal(err)
+	}
+	if m.SharedLogVolume("sales") != 0 {
+		t.Fatalf("volume after dropping laggard = %d, want 0", m.SharedLogVolume("sales"))
+	}
+	// SharedLogVolume of unlogged tables is 0.
+	if m.SharedLogVolume("customer") != 0 {
+		// customer is still logged by view a — volume 0 because a is
+		// caught up; an unknown table reports 0 too.
+		t.Fatalf("customer volume = %d", m.SharedLogVolume("customer"))
+	}
+	if m.SharedLogVolume("ghost") != 0 {
+		t.Fatal("unknown table should report 0")
+	}
+}
+
+func TestSharedLogRecomputeConsumesWindow(t *testing.T) {
+	db, def := retailDB(t)
+	m := NewManager(db, WithSharedLogs())
+	if _, err := m.DefineView("a", def, BaseLogs); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Execute(txn.Insert("sales", bag.Of(saleRow(0, 1, 1)))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RefreshRecompute("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.SharedLogVolume("sales") != 0 {
+		t.Fatal("recompute did not consume the window")
+	}
+	if err := m.CheckInvariant("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckConsistent("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedLogLateViewStartsAtHead(t *testing.T) {
+	db, def := retailDB(t)
+	m := NewManager(db, WithSharedLogs())
+	if _, err := m.DefineView("a", def, BaseLogs); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Execute(txn.Insert("sales", bag.Of(saleRow(0, 1, 1)))); err != nil {
+		t.Fatal(err)
+	}
+	// A view defined now must NOT see the earlier batch in its window
+	// (it was initialized from the current state).
+	if _, err := m.DefineView("late", def, Combined); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariant("late"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Refresh("late"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckConsistent("late"); err != nil {
+		t.Fatal(err)
+	}
+	// And "a" still catches up correctly.
+	if err := m.Refresh("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckConsistent("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedLogPoliciesRun(t *testing.T) {
+	db, def := retailDB(t)
+	m := NewManager(db, WithSharedLogs())
+	if _, err := m.DefineView("hv", def, Combined); err != nil {
+		t.Fatal(err)
+	}
+	runner, err := m.NewRunner("hv", Policy{PropagateEvery: 2, RefreshEvery: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := m.Execute(txn.Insert("sales", bag.Of(saleRow(i%10, i, 1)))); err != nil {
+			t.Fatal(err)
+		}
+		if err := runner.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckInvariant("hv"); err != nil {
+			t.Fatalf("tick %d: %v", i+1, err)
+		}
+	}
+	if err := m.Refresh("hv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckConsistent("hv"); err != nil {
+		t.Fatal(err)
+	}
+}

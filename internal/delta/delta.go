@@ -1,0 +1,277 @@
+// Package delta implements the paper's differential algorithms
+// (Section 4, Figure 2): the mutually recursive queries DEL(η,Q) and
+// ADD(η,Q) for weakly minimal factored substitutions η, satisfying
+//
+//	η(Q) ≡ (Q ∸ DEL(η,Q)) ⊎ ADD(η,Q)   and   DEL(η,Q) ⊑ Q     (Theorem 2)
+//
+// together with the derived incremental queries for both maintenance
+// directions:
+//
+//   - pre-update (immediate maintenance): for a simple transaction T,
+//     ∇(T,Q) = DEL(T̂,Q) and △(T,Q) = ADD(T̂,Q), evaluated in the state
+//     BEFORE T runs;
+//   - post-update (deferred maintenance): for a log L, by the duality and
+//     cancellation argument of Section 4, ▼(L,Q) = ADD(L̂,Q) and
+//     ▲(L,Q) = DEL(L̂,Q), evaluated in the CURRENT state, after the
+//     logged changes have been applied.
+//
+// The package also provides the naive baseline that evaluates the
+// pre-update incremental queries in the post-update state — the "state
+// bug" of Section 1.2 — and a strong-minimality post-pass (Section 4.1).
+package delta
+
+import (
+	"fmt"
+
+	"dvm/internal/algebra"
+	"dvm/internal/bag"
+	"dvm/internal/schema"
+)
+
+// Factored is one table's entry in a factored substitution: the table R
+// is replaced by (R ∸ Del) ⊎ Add. Del and Add are arbitrary expressions
+// (typically base references to auxiliary tables, or literal bags) and
+// must be union-compatible with R; their column names should match R's so
+// predicates over R still bind.
+type Factored struct {
+	Del algebra.Expr
+	Add algebra.Expr
+}
+
+// Subst is a factored substitution η = [(R_i ∸ D_i) ⊎ A_i / R_i]
+// (Section 2.4). Tables absent from the map are unchanged, i.e. D = A = ∅.
+type Subst map[string]Factored
+
+// FromBags builds a substitution from concrete per-table delete/insert
+// bags (the white-triangle form a user transaction supplies). schemas
+// gives each table's schema.
+func FromBags(deltas map[string][2]*bag.Bag, schemas map[string]*schema.Schema) (Subst, error) {
+	s := Subst{}
+	for name, d := range deltas {
+		sch, ok := schemas[name]
+		if !ok {
+			return nil, fmt.Errorf("delta: no schema for table %q", name)
+		}
+		s[name] = Factored{
+			Del: algebra.NewLiteral(sch, d[0]),
+			Add: algebra.NewLiteral(sch, d[1]),
+		}
+	}
+	return s, nil
+}
+
+// Apply builds the substituted query η(Q).
+func (s Subst) Apply(q algebra.Expr) (algebra.Expr, error) {
+	repl := map[string]algebra.Expr{}
+	for name, f := range s {
+		base := algebra.NewBase(name, f.Del.Schema())
+		m, err := algebra.NewMonus(base, f.Del)
+		if err != nil {
+			return nil, fmt.Errorf("delta: apply %s: %w", name, err)
+		}
+		u, err := algebra.NewUnionAll(m, f.Add)
+		if err != nil {
+			return nil, fmt.Errorf("delta: apply %s: %w", name, err)
+		}
+		repl[name] = u
+	}
+	return algebra.Substitute(q, repl)
+}
+
+// Del computes DEL(η,Q) per Figure 2. The result is a query over the
+// current state (base tables plus whatever auxiliary tables η's entries
+// reference).
+func Del(eta Subst, q algebra.Expr) (algebra.Expr, error) {
+	d, _, err := differentiate(eta, q)
+	return d, err
+}
+
+// Add computes ADD(η,Q) per Figure 2.
+func Add(eta Subst, q algebra.Expr) (algebra.Expr, error) {
+	_, a, err := differentiate(eta, q)
+	return a, err
+}
+
+// Differentiate computes both DEL(η,Q) and ADD(η,Q) in one pass.
+func Differentiate(eta Subst, q algebra.Expr) (del, add algebra.Expr, err error) {
+	return differentiate(eta, q)
+}
+
+// differentiate is the mutually recursive core of Figure 2. Each case
+// returns (DEL, ADD) for the node, built from the children's pairs.
+func differentiate(eta Subst, q algebra.Expr) (algebra.Expr, algebra.Expr, error) {
+	empty := func() algebra.Expr { return algebra.Empty(q.Schema()) }
+	switch n := q.(type) {
+	case *algebra.Literal:
+		// Q is ∅ or a constant bag {x}: DEL ≡ ADD ≡ ∅.
+		return empty(), empty(), nil
+
+	case *algebra.Base:
+		f, ok := eta[n.Name]
+		if !ok {
+			return empty(), empty(), nil
+		}
+		return f.Del, f.Add, nil
+
+	case *algebra.Select:
+		d, a, err := differentiate(eta, n.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds, err := algebra.NewSelect(n.Pred, d)
+		if err != nil {
+			return nil, nil, err
+		}
+		as, err := algebra.NewSelect(n.Pred, a)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds, as, nil
+
+	case *algebra.Project:
+		d, a, err := differentiate(eta, n.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		dp, err := algebra.NewProject(n.Cols, n.OutNames, d)
+		if err != nil {
+			return nil, nil, err
+		}
+		ap, err := algebra.NewProject(n.Cols, n.OutNames, a)
+		if err != nil {
+			return nil, nil, err
+		}
+		return dp, ap, nil
+
+	case *algebra.DupElim:
+		// DEL(ε E) = ε(DEL E) ∸ (E ∸ DEL E)
+		// ADD(ε E) = ε(ADD E) ∸ (E ∸ DEL E)
+		d, a, err := differentiate(eta, n.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		rest, err := algebra.NewMonus(n.Child, d) // E ∸ DEL(E)
+		if err != nil {
+			return nil, nil, err
+		}
+		dd, err := algebra.NewMonus(algebra.NewDupElim(d), rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		aa, err := algebra.NewMonus(algebra.NewDupElim(a), rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return dd, aa, nil
+
+	case *algebra.UnionAll:
+		ld, la, err := differentiate(eta, n.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		rd, ra, err := differentiate(eta, n.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		du, err := algebra.NewUnionAll(ld, rd)
+		if err != nil {
+			return nil, nil, err
+		}
+		au, err := algebra.NewUnionAll(la, ra)
+		if err != nil {
+			return nil, nil, err
+		}
+		return du, au, nil
+
+	case *algebra.Monus:
+		// DEL(E ∸ F) = (DEL E ⊎ ADD F) min (E ∸ F)
+		// ADD(E ∸ F) = ((ADD E ⊎ DEL F) ∸ (F ∸ E)) ∸ ((DEL E ⊎ ADD F) ∸ (E ∸ F))
+		ed, ea, err := differentiate(eta, n.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		fd, fa, err := differentiate(eta, n.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		ef, err := algebra.NewMonus(n.L, n.R) // E ∸ F
+		if err != nil {
+			return nil, nil, err
+		}
+		fe, err := algebra.NewMonus(n.R, n.L) // F ∸ E
+		if err != nil {
+			return nil, nil, err
+		}
+		delUnion, err := algebra.NewUnionAll(ed, fa) // DEL E ⊎ ADD F
+		if err != nil {
+			return nil, nil, err
+		}
+		dm, err := algebra.MinOf(delUnion, ef)
+		if err != nil {
+			return nil, nil, err
+		}
+		addUnion, err := algebra.NewUnionAll(ea, fd) // ADD E ⊎ DEL F
+		if err != nil {
+			return nil, nil, err
+		}
+		addLHS, err := algebra.NewMonus(addUnion, fe)
+		if err != nil {
+			return nil, nil, err
+		}
+		addRHS, err := algebra.NewMonus(delUnion, ef)
+		if err != nil {
+			return nil, nil, err
+		}
+		am, err := algebra.NewMonus(addLHS, addRHS)
+		if err != nil {
+			return nil, nil, err
+		}
+		return dm, am, nil
+
+	case *algebra.Product:
+		// DEL(E × F) = (DEL E × DEL F) ⊎ (DEL E × (F ∸ DEL F)) ⊎ ((E ∸ DEL E) × DEL F)
+		// ADD(E × F) = (ADD E × ADD F) ⊎ (ADD E × (F ∸ DEL F)) ⊎ ((E ∸ DEL E) × ADD F)
+		ed, ea, err := differentiate(eta, n.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		fd, fa, err := differentiate(eta, n.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		eRest, err := algebra.NewMonus(n.L, ed) // E ∸ DEL E
+		if err != nil {
+			return nil, nil, err
+		}
+		fRest, err := algebra.NewMonus(n.R, fd) // F ∸ DEL F
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := union3(
+			algebra.NewProduct(ed, fd),
+			algebra.NewProduct(ed, fRest),
+			algebra.NewProduct(eRest, fd),
+		)
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := union3(
+			algebra.NewProduct(ea, fa),
+			algebra.NewProduct(ea, fRest),
+			algebra.NewProduct(eRest, fa),
+		)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d, a, nil
+	}
+	return nil, nil, fmt.Errorf("delta: differentiate: unknown node %T", q)
+}
+
+func union3(a, b, c algebra.Expr) (algebra.Expr, error) {
+	u, err := algebra.NewUnionAll(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.NewUnionAll(u, c)
+}

@@ -1,0 +1,374 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvm/internal/algebra"
+	"dvm/internal/bag"
+	"dvm/internal/schema"
+)
+
+// randSubst builds a random weakly minimal factored substitution over the
+// universe: per-table literal delete/insert bags with deletes capped to
+// the table's current contents (D_i ⊑ R_i).
+func randSubst(r *rand.Rand, u *algebra.RandomUniverse, st algebra.MapSource) Subst {
+	s := Subst{}
+	for _, name := range u.Tables {
+		del, ins := u.RandomDelta(r)
+		del = bag.Min(del, st[name]) // weak minimality
+		s[name] = Factored{
+			Del: algebra.NewLiteral(u.Sch, del),
+			Add: algebra.NewLiteral(u.Sch, ins),
+		}
+	}
+	return s
+}
+
+func TestTheorem2Correctness(t *testing.T) {
+	// Theorem 2: η(Q) ≡ (Q ∸ DEL(η,Q)) ⊎ ADD(η,Q) and DEL(η,Q) ⊑ Q,
+	// for random queries, states, and weakly minimal substitutions.
+	r := rand.New(rand.NewSource(42))
+	u := algebra.NewRandomUniverse(3)
+	for i := 0; i < 400; i++ {
+		q := u.RandomQuery(r, 3)
+		st := u.RandomState(r)
+		eta := randSubst(r, u, st)
+
+		applied, err := eta.Apply(q)
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		want, err := algebra.Eval(applied, st)
+		if err != nil {
+			t.Fatalf("eval η(Q): %v", err)
+		}
+
+		delE, addE, err := Differentiate(eta, q)
+		if err != nil {
+			t.Fatalf("differentiate: %v", err)
+		}
+		qv, err := algebra.Eval(q, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := algebra.Eval(delE, st)
+		if err != nil {
+			t.Fatalf("eval DEL: %v", err)
+		}
+		av, err := algebra.Eval(addE, st)
+		if err != nil {
+			t.Fatalf("eval ADD: %v", err)
+		}
+		got := bag.UnionAll(bag.Monus(qv, dv), av)
+		if !got.Equal(want) {
+			t.Fatalf("iteration %d: Theorem 2(a) violated for\nQ = %s\nQ(s)=%v DEL=%v ADD=%v\nwant η(Q)(s)=%v got %v",
+				i, q, qv, dv, av, want, got)
+		}
+		if !dv.SubBagOf(qv) {
+			t.Fatalf("iteration %d: Theorem 2(b) violated: DEL=%v ⋢ Q=%v for %s", i, dv, qv, q)
+		}
+	}
+}
+
+// applyChanges installs per-table (delete, insert) bags into a copy of
+// the state with simple-transaction semantics, normalizing deletes to the
+// effective (weakly minimal) bag. It returns the new state and the
+// effective change set.
+func applyChanges(st algebra.MapSource, deltas map[string][2]*bag.Bag) (algebra.MapSource, map[string][2]*bag.Bag) {
+	out := algebra.MapSource{}
+	eff := map[string][2]*bag.Bag{}
+	for name, b := range st {
+		d := deltas[name]
+		del, ins := d[0], d[1]
+		if del == nil {
+			del = bag.New()
+		}
+		if ins == nil {
+			ins = bag.New()
+		}
+		del = bag.Min(del, b) // effective deletes
+		out[name] = bag.UnionAll(bag.Monus(b, del), ins)
+		eff[name] = [2]*bag.Bag{del, ins}
+	}
+	return out, eff
+}
+
+func randDeltas(r *rand.Rand, u *algebra.RandomUniverse) map[string][2]*bag.Bag {
+	d := map[string][2]*bag.Bag{}
+	for _, name := range u.Tables {
+		del, ins := u.RandomDelta(r)
+		d[name] = [2]*bag.Bag{del, ins}
+	}
+	return d
+}
+
+func literalChangeSet(u *algebra.RandomUniverse, deltas map[string][2]*bag.Bag) ChangeSet {
+	c := ChangeSet{}
+	for name, d := range deltas {
+		c[name] = struct {
+			Deleted  algebra.Expr
+			Inserted algebra.Expr
+		}{
+			Deleted:  algebra.NewLiteral(u.Sch, d[0]),
+			Inserted: algebra.NewLiteral(u.Sch, d[1]),
+		}
+	}
+	return c
+}
+
+func TestPreUpdateFutureCorrectness(t *testing.T) {
+	// FUTURE(T,Q)(s) = Q(T(s)): applying ∇(T,Q)/△(T,Q) computed in the
+	// PRE state to Q's pre value yields Q's post value.
+	r := rand.New(rand.NewSource(7))
+	u := algebra.NewRandomUniverse(2)
+	for i := 0; i < 300; i++ {
+		q := u.RandomQuery(r, 3)
+		pre := u.RandomState(r)
+		post, eff := applyChanges(pre, randDeltas(r, u))
+		cs := literalChangeSet(u, eff)
+
+		delE, addE, err := PreUpdate(cs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qPre, _ := algebra.Eval(q, pre)
+		qPost, _ := algebra.Eval(q, post)
+		dv, err := algebra.Eval(delE, pre)
+		if err != nil {
+			t.Fatal(err)
+		}
+		av, err := algebra.Eval(addE, pre)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := bag.UnionAll(bag.Monus(qPre, dv), av)
+		if !got.Equal(qPost) {
+			t.Fatalf("iteration %d: pre-update maintenance wrong for %s:\npre=%v post=%v got=%v (∇=%v △=%v)",
+				i, q, qPre, qPost, got, dv, av)
+		}
+		if !dv.SubBagOf(qPre) {
+			t.Fatalf("iteration %d: ∇(T,Q) ⋢ Q in pre state", i)
+		}
+	}
+}
+
+func TestPostUpdatePastAndRefreshCorrectness(t *testing.T) {
+	// For a weakly minimal log L from s_p to s_c:
+	//  (1) PAST(L,Q)(s_c) = Q(s_p)
+	//  (2) (Q(s_p) ∸ ▼(L,Q)(s_c)) ⊎ ▲(L,Q)(s_c) = Q(s_c)
+	r := rand.New(rand.NewSource(11))
+	u := algebra.NewRandomUniverse(2)
+	for i := 0; i < 300; i++ {
+		q := u.RandomQuery(r, 3)
+		sp := u.RandomState(r)
+		sc, eff := applyChanges(sp, randDeltas(r, u))
+		log := literalChangeSet(u, eff)
+
+		past, err := LogSubst(log).Apply(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv, err := algebra.Eval(past, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qPast, _ := algebra.Eval(q, sp)
+		if !pv.Equal(qPast) {
+			t.Fatalf("iteration %d: PAST(L,Q)(s_c)=%v != Q(s_p)=%v for %s", i, pv, qPast, q)
+		}
+
+		mvDel, mvAdd, err := PostUpdate(log, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := algebra.Eval(mvDel, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		av, err := algebra.Eval(mvAdd, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qNow, _ := algebra.Eval(q, sc)
+		got := bag.UnionAll(bag.Monus(qPast, dv), av)
+		if !got.Equal(qNow) {
+			t.Fatalf("iteration %d: post-update refresh wrong for %s:\npast=%v now=%v got=%v (▼=%v ▲=%v)",
+				i, q, qPast, qNow, got, dv, av)
+		}
+	}
+}
+
+func TestPostUpdateCancelledAgreesWhenMinimal(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	u := algebra.NewRandomUniverse(2)
+	for i := 0; i < 150; i++ {
+		q := u.RandomQuery(r, 3)
+		sp := u.RandomState(r)
+		sc, eff := applyChanges(sp, randDeltas(r, u))
+		log := literalChangeSet(u, eff)
+		qPast, _ := algebra.Eval(q, sp)
+		qNow, _ := algebra.Eval(q, sc)
+
+		mvDel, mvAdd, err := PostUpdateCancelled(log, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, _ := algebra.Eval(mvDel, sc)
+		av, _ := algebra.Eval(mvAdd, sc)
+		got := bag.UnionAll(bag.Monus(qPast, dv), av)
+		if !got.Equal(qNow) {
+			t.Fatalf("cancelled refresh wrong for %s: past=%v now=%v got=%v", q, qPast, qNow, got)
+		}
+	}
+}
+
+func TestPostUpdateCancelledHandlesNonMinimalLog(t *testing.T) {
+	// A log that is NOT weakly minimal: R is empty now, but the log
+	// claims ▲R = {x} and ▼R = {x} (insert-then-delete recorded without
+	// merging). PAST(L,R)(s_c) = (∅ ∸ {x}) ⊎ {x} = {x}.
+	sch := schema.NewSchema(schema.Col("x", schema.TInt))
+	st := algebra.MapSource{"R": bag.New()}
+	q := algebra.NewBase("R", sch)
+	x := bag.Of(schema.Row(1))
+	log := ChangeSet{"R": {
+		Deleted:  algebra.NewLiteral(sch, x),
+		Inserted: algebra.NewLiteral(sch, x),
+	}}
+
+	// MV holds the past value {x}; current value is ∅.
+	mv := x.Clone()
+
+	// The weakly-minimal shortcut gives the wrong answer here...
+	d1, a1, err := PostUpdate(log, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv1, _ := algebra.Eval(d1, st)
+	av1, _ := algebra.Eval(a1, st)
+	got1 := bag.UnionAll(bag.Monus(mv, dv1), av1)
+	if got1.Empty() {
+		t.Fatal("expected the shortcut to fail on a non-minimal log (it is only specified for minimal logs)")
+	}
+
+	// ...while the cancelled form is correct for any log.
+	d2, a2, err := PostUpdateCancelled(log, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv2, _ := algebra.Eval(d2, st)
+	av2, _ := algebra.Eval(a2, st)
+	got2 := bag.UnionAll(bag.Monus(mv, dv2), av2)
+	if !got2.Empty() {
+		t.Fatalf("cancelled refresh wrong: got %v, want ∅", got2)
+	}
+}
+
+func TestStrengthenMinimality(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	u := algebra.NewRandomUniverse(2)
+	for i := 0; i < 200; i++ {
+		q := u.RandomQuery(r, 3)
+		st := u.RandomState(r)
+		eta := randSubst(r, u, st)
+		delE, addE, err := Differentiate(eta, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, sa, err := StrengthenMinimality(delE, addE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qv, _ := algebra.Eval(q, st)
+		dv, _ := algebra.Eval(sd, st)
+		av, _ := algebra.Eval(sa, st)
+		// Condition (b): no tuple both deleted and reinserted.
+		if !bag.Min(dv, av).Empty() {
+			t.Fatalf("strong minimality violated: DEL=%v ADD=%v share tuples", dv, av)
+		}
+		// Condition (a) still holds.
+		if !dv.SubBagOf(qv) {
+			t.Fatalf("weak minimality lost after strengthening")
+		}
+		// Equivalence preserved.
+		applied, _ := eta.Apply(q)
+		want, _ := algebra.Eval(applied, st)
+		got := bag.UnionAll(bag.Monus(qv, dv), av)
+		if !got.Equal(want) {
+			t.Fatalf("strengthening changed the result: want %v got %v", want, got)
+		}
+	}
+}
+
+func TestFromBags(t *testing.T) {
+	sch := schema.NewSchema(schema.Col("x", schema.TInt))
+	deltas := map[string][2]*bag.Bag{"R": {bag.Of(schema.Row(1)), bag.Of(schema.Row(2))}}
+	s, err := FromBags(deltas, map[string]*schema.Schema{"R": sch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := s["R"]
+	if !ok {
+		t.Fatal("R missing from substitution")
+	}
+	st := algebra.MapSource{"R": bag.Of(schema.Row(1), schema.Row(3))}
+	dv, _ := algebra.Eval(f.Del, st)
+	av, _ := algebra.Eval(f.Add, st)
+	if !dv.Equal(bag.Of(schema.Row(1))) || !av.Equal(bag.Of(schema.Row(2))) {
+		t.Fatal("FromBags literals wrong")
+	}
+	if _, err := FromBags(deltas, map[string]*schema.Schema{}); err == nil {
+		t.Fatal("missing schema should error")
+	}
+}
+
+func TestApplySubstitution(t *testing.T) {
+	// η(R) with D={1}, A={2} over R={1,3} evaluates to {2,3}.
+	sch := schema.NewSchema(schema.Col("x", schema.TInt))
+	st := algebra.MapSource{"R": bag.Of(schema.Row(1), schema.Row(3))}
+	eta := Subst{"R": {
+		Del: algebra.NewLiteral(sch, bag.Of(schema.Row(1))),
+		Add: algebra.NewLiteral(sch, bag.Of(schema.Row(2))),
+	}}
+	q := algebra.NewBase("R", sch)
+	ap, err := eta.Apply(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := algebra.Eval(ap, st)
+	if !got.Equal(bag.Of(schema.Row(2), schema.Row(3))) {
+		t.Fatalf("apply wrong: %v", got)
+	}
+	// Tables not in η pass through untouched.
+	q2 := algebra.NewBase("S", sch)
+	ap2, err := eta.Apply(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap2 != q2 {
+		t.Fatal("untouched table should be returned as-is")
+	}
+}
+
+func TestDelAddConvenienceWrappers(t *testing.T) {
+	sch := schema.NewSchema(schema.Col("x", schema.TInt))
+	eta := Subst{"R": {
+		Del: algebra.NewLiteral(sch, bag.Of(schema.Row(1))),
+		Add: algebra.NewLiteral(sch, bag.Of(schema.Row(2))),
+	}}
+	q := algebra.NewBase("R", sch)
+	d, err := Del(eta, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Add(eta, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := algebra.MapSource{"R": bag.Of(schema.Row(1), schema.Row(3))}
+	dv, _ := algebra.Eval(d, st)
+	av, _ := algebra.Eval(a, st)
+	if !dv.Equal(bag.Of(schema.Row(1))) || !av.Equal(bag.Of(schema.Row(2))) {
+		t.Fatalf("Del/Add wrappers wrong: %v / %v", dv, av)
+	}
+}

@@ -1,0 +1,113 @@
+package delta
+
+import (
+	"dvm/internal/algebra"
+)
+
+// ChangeSet names the per-table auxiliary expressions of either a
+// transaction (white triangles ∇R/△R) or a log (black triangles ▼R/▲R):
+// Deleted is the bag of tuples removed from R and Inserted the bag added.
+type ChangeSet map[string]struct {
+	Deleted  algebra.Expr // ∇R or ▼R
+	Inserted algebra.Expr // △R or ▲R
+}
+
+// TransactionSubst builds T̂, the substitution of a simple transaction
+// T = {R := (R ∸ ∇R) ⊎ △R}: D_i = ∇R_i, A_i = △R_i (Section 2.4). The
+// resulting incremental queries must be evaluated in the PRE-update state.
+func TransactionSubst(c ChangeSet) Subst {
+	s := Subst{}
+	for name, ch := range c {
+		s[name] = Factored{Del: ch.Deleted, Add: ch.Inserted}
+	}
+	return s
+}
+
+// LogSubst builds L̂, the substitution of a log recording the transition
+// into the current state: past values are recovered by REMOVING what the
+// log inserted and RE-ADDING what it deleted, so D_i = ▲R_i and
+// A_i = ▼R_i (Section 2.4 — note the deliberate role reversal).
+func LogSubst(c ChangeSet) Subst {
+	s := Subst{}
+	for name, ch := range c {
+		s[name] = Factored{Del: ch.Inserted, Add: ch.Deleted}
+	}
+	return s
+}
+
+// PreUpdate computes the immediate-maintenance incremental queries
+// ∇(T,Q) = DEL(T̂,Q) and △(T,Q) = ADD(T̂,Q). Both must be evaluated in
+// the state BEFORE T executes; then
+//
+//	MV := (MV ∸ ∇(T,Q)) ⊎ △(T,Q)
+//
+// maintains INV_IM, provided T is weakly minimal (∇R ⊑ R).
+func PreUpdate(t ChangeSet, q algebra.Expr) (del, add algebra.Expr, err error) {
+	return Differentiate(TransactionSubst(t), q)
+}
+
+// PostUpdate computes the deferred-maintenance incremental queries
+// ▼(L,Q) and ▲(L,Q) of Section 4, to be evaluated in the CURRENT
+// (post-update) state:
+//
+//	▼(L,Q) = ADD(L̂,Q)       ▲(L,Q) = DEL(L̂,Q)
+//
+// so that MV := (MV ∸ ▼(L,Q)) ⊎ ▲(L,Q) refreshes the view. The log must
+// be weakly minimal (▲R ⊑ R in the current state); makesafe_BL maintains
+// that invariant (Lemma 4).
+func PostUpdate(l ChangeSet, q algebra.Expr) (mvDel, mvAdd algebra.Expr, err error) {
+	d, a, err := Differentiate(LogSubst(l), q)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Duality + cancellation: the log's ADD is what the view must DELETE
+	// and vice versa; weak minimality lets ▲(L,Q) be DEL(L̂,Q) directly
+	// rather than Q min DEL(L̂,Q) (Section 4.1).
+	return a, d, nil
+}
+
+// PostUpdateCancelled is the fully general form that does not rely on
+// the weak-minimality simplification: ▲(L,Q) = Q min DEL(L̂,Q)
+// (Section 4, before 4.1). Correct for any log; more expensive.
+func PostUpdateCancelled(l ChangeSet, q algebra.Expr) (mvDel, mvAdd algebra.Expr, err error) {
+	d, a, err := Differentiate(LogSubst(l), q)
+	if err != nil {
+		return nil, nil, err
+	}
+	am, err := algebra.MinOf(q, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, am, nil
+}
+
+// NaivePostUpdate is the STATE-BUGGY baseline of Section 1.2: it applies
+// the pre-update incremental queries, oriented as if the log were a
+// pending transaction (D_i = ▼R_i, A_i = ▲R_i), but evaluates them in
+// the post-update state. It reproduces the wrong answers of Examples 1.2
+// and 1.3 on general views; Remark 1 identifies the restricted class
+// where it coincidentally agrees with PostUpdate.
+func NaivePostUpdate(l ChangeSet, q algebra.Expr) (mvDel, mvAdd algebra.Expr, err error) {
+	return Differentiate(TransactionSubst(ChangeSet(l)), q)
+}
+
+// StrengthenMinimality applies the strong-minimality post-pass of
+// Section 4.1: given weakly minimal (del, add) for Q, it removes the
+// common part M = del min add from both sides, yielding a pair that
+// additionally satisfies DEL min ADD ≡ ∅ ("no tuple is deleted and then
+// reinserted") while preserving (Q ∸ DEL) ⊎ ADD.
+func StrengthenMinimality(del, add algebra.Expr) (algebra.Expr, algebra.Expr, error) {
+	m, err := algebra.MinOf(del, add)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := algebra.NewMonus(del, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := algebra.NewMonus(add, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, a, nil
+}

@@ -1,0 +1,35 @@
+package delta
+
+import "dvm/internal/algebra"
+
+// SelfMaintainable reports whether a view defined by q can be maintained
+// without reading its base tables — the property of select-project views
+// that Section 1.2 (citing [GJM96]) uses to explain why earlier deferred
+// schemes never met the state bug: "the issue of pre-update state vs.
+// post-update state of base tables is irrelevant for maintaining
+// select-project views."
+//
+// Operationally, a query is self-maintainable here exactly when its
+// Figure 2 differentials DEL(η,Q)/ADD(η,Q) reference only the
+// substitution's delta expressions and never a base table: true for any
+// composition of σ, Π, literals, and base references (by induction over
+// Figure 2, whose σ/Π cases mention only child deltas), and false as
+// soon as ε, ⊎, ∸, or × appears above a base table (their rules mention
+// E and F themselves). ⊎ of self-maintainable branches is also
+// self-maintainable (its rule mentions only child deltas), so unions are
+// allowed.
+func SelfMaintainable(q algebra.Expr) bool {
+	switch n := q.(type) {
+	case *algebra.Literal, *algebra.Base:
+		return true
+	case *algebra.Select:
+		return SelfMaintainable(n.Child)
+	case *algebra.Project:
+		return SelfMaintainable(n.Child)
+	case *algebra.UnionAll:
+		return SelfMaintainable(n.L) && SelfMaintainable(n.R)
+	default:
+		// ε, ∸, × (and anything unknown) require base-table access.
+		return false
+	}
+}

@@ -1,0 +1,99 @@
+package delta
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dvm/internal/algebra"
+	"dvm/internal/schema"
+)
+
+func spSchema() *schema.Schema {
+	return schema.NewSchema(schema.Col("a", schema.TInt), schema.Col("b", schema.TInt))
+}
+
+func TestSelfMaintainableClassification(t *testing.T) {
+	sch := spSchema()
+	r := algebra.NewBase("R", sch)
+	s := algebra.NewBase("S", sch)
+	sel, err := algebra.NewSelect(algebra.Gt(algebra.A("a"), algebra.C(0)), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := algebra.NewProject([]string{"a"}, nil, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := algebra.NewUnionAll(sel, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := algebra.NewMonus(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	yes := []algebra.Expr{r, sel, proj, un, algebra.Empty(sch)}
+	for _, q := range yes {
+		if !SelfMaintainable(q) {
+			t.Errorf("%s should be self-maintainable", q)
+		}
+	}
+	no := []algebra.Expr{
+		algebra.NewDupElim(r),
+		mon,
+		algebra.NewProduct(algebra.Qualified(r, "l"), algebra.Qualified(s, "r")),
+	}
+	for _, q := range no {
+		if SelfMaintainable(q) {
+			t.Errorf("%s should NOT be self-maintainable", q)
+		}
+	}
+}
+
+// TestSelfMaintainableMeansNoBaseAccess verifies the semantic
+// definition: for queries classified self-maintainable, the Figure 2
+// differentials reference only the substitution's delta tables; for the
+// others they reference at least one base table.
+func TestSelfMaintainableMeansNoBaseAccess(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	u := algebra.NewRandomUniverse(2)
+	cs := ChangeSet{}
+	for _, name := range u.Tables {
+		cs[name] = struct {
+			Deleted  algebra.Expr
+			Inserted algebra.Expr
+		}{
+			Deleted:  algebra.NewBase("__d_"+name, u.Sch),
+			Inserted: algebra.NewBase("__i_"+name, u.Sch),
+		}
+	}
+	isDelta := func(name string) bool { return strings.HasPrefix(name, "__d_") || strings.HasPrefix(name, "__i_") }
+
+	checked := 0
+	for i := 0; i < 300 && checked < 100; i++ {
+		q := u.RandomQuery(r, 3)
+		d, a, err := Differentiate(TransactionSubst(cs), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		touchesBase := false
+		for _, e := range []algebra.Expr{d, a} {
+			for _, name := range algebra.BaseNames(e) {
+				if !isDelta(name) {
+					touchesBase = true
+				}
+			}
+		}
+		if SelfMaintainable(q) {
+			checked++
+			if touchesBase {
+				t.Fatalf("self-maintainable query's differentials read base tables:\nQ = %s\nDEL = %s", q, d)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("random generator produced no self-maintainable queries to check")
+	}
+}

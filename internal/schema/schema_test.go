@@ -1,0 +1,212 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func custSchema() *Schema {
+	return NewSchema(
+		Col("custId", TInt),
+		Col("name", TString),
+		Col("score", TString),
+	)
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := custSchema()
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Column(1).Name != "name" {
+		t.Fatalf("Column(1) = %v", s.Column(1))
+	}
+	if got := len(s.Columns()); got != 3 {
+		t.Fatalf("Columns len = %d", got)
+	}
+	p, err := s.Lookup("score")
+	if err != nil || p != 2 {
+		t.Fatalf("Lookup(score) = %d, %v", p, err)
+	}
+	if _, err := s.Lookup("missing"); err == nil {
+		t.Fatal("Lookup(missing) should fail")
+	}
+	if got := s.MustLookup("custId"); got != 0 {
+		t.Fatalf("MustLookup = %d", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustLookup(missing) should panic")
+			}
+		}()
+		s.MustLookup("missing")
+	}()
+}
+
+func TestSchemaQualifiedLookup(t *testing.T) {
+	s := NewSchema(Col("c.custId", TInt), Col("c.name", TString), Col("s.itemNo", TInt))
+	if p, err := s.Lookup("itemNo"); err != nil || p != 2 {
+		t.Fatalf("unqualified suffix lookup = %d, %v", p, err)
+	}
+	if p, err := s.Lookup("c.name"); err != nil || p != 1 {
+		t.Fatalf("qualified lookup = %d, %v", p, err)
+	}
+	dup := NewSchema(Col("c.id", TInt), Col("s.id", TInt))
+	if _, err := dup.Lookup("id"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("expected ambiguous error, got %v", err)
+	}
+}
+
+func TestSchemaDuplicateNameAmbiguity(t *testing.T) {
+	s := NewSchema(Col("x", TInt), Col("x", TInt))
+	if _, err := s.Lookup("x"); err == nil {
+		t.Fatal("duplicate name should be ambiguous")
+	}
+}
+
+func TestSchemaConcatProjectRename(t *testing.T) {
+	a := NewSchema(Col("a", TInt), Col("b", TString))
+	b := NewSchema(Col("c", TFloat))
+	cat := a.Concat(b)
+	if cat.Len() != 3 || cat.Column(2).Name != "c" {
+		t.Fatalf("Concat wrong: %v", cat)
+	}
+	proj := cat.Project([]int{2, 0})
+	if proj.Len() != 2 || proj.Column(0).Name != "c" || proj.Column(1).Name != "a" {
+		t.Fatalf("Project wrong: %v", proj)
+	}
+	ren, err := a.Rename([]string{"x", "y"})
+	if err != nil || ren.Column(0).Name != "x" {
+		t.Fatalf("Rename wrong: %v, %v", ren, err)
+	}
+	if _, err := a.Rename([]string{"only-one"}); err == nil {
+		t.Fatal("arity-mismatched rename should fail")
+	}
+}
+
+func TestSchemaQualify(t *testing.T) {
+	s := NewSchema(Col("custId", TInt), Col("t.name", TString))
+	q := s.Qualify("c")
+	if q.Column(0).Name != "c.custId" {
+		t.Fatalf("Qualify = %v", q)
+	}
+	// Re-qualification replaces the old qualifier.
+	if q.Column(1).Name != "c.name" {
+		t.Fatalf("Qualify requalify = %v", q)
+	}
+}
+
+func TestSchemaCompatible(t *testing.T) {
+	a := NewSchema(Col("a", TInt), Col("b", TString))
+	b := NewSchema(Col("x", TFloat), Col("y", TString))
+	if !a.Compatible(b) {
+		t.Fatal("int/float columns should be union-compatible")
+	}
+	c := NewSchema(Col("x", TString), Col("y", TString))
+	if a.Compatible(c) {
+		t.Fatal("int vs string should not be compatible")
+	}
+	d := NewSchema(Col("x", TInt))
+	if a.Compatible(d) {
+		t.Fatal("different arity should not be compatible")
+	}
+	n := NewSchema(Col("x", TNull), Col("y", TNull))
+	if !a.Compatible(n) {
+		t.Fatal("NULL columns are wildcard-compatible")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := custSchema()
+	if !a.Equal(custSchema()) {
+		t.Fatal("identical schemas should be Equal")
+	}
+	if a.Equal(NewSchema(Col("custId", TInt))) {
+		t.Fatal("different arity should not be Equal")
+	}
+	if a.Equal(NewSchema(Col("custId", TFloat), Col("name", TString), Col("score", TString))) {
+		t.Fatal("different type should not be Equal")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := custSchema()
+	if err := s.Validate(Row(1, "alice", "High")); err != nil {
+		t.Fatalf("valid tuple rejected: %v", err)
+	}
+	if err := s.Validate(Row(1, "alice")); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := s.Validate(Row("x", "alice", "High")); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if err := s.Validate(Row(nil, nil, nil)); err != nil {
+		t.Fatalf("NULLs should validate: %v", err)
+	}
+	f := NewSchema(Col("price", TFloat))
+	if err := f.Validate(Row(3)); err != nil {
+		t.Fatalf("int into float column should validate: %v", err)
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	got := custSchema().String()
+	want := "(custId INT, name STRING, score STRING)"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	a := Row(1, "x")
+	b := a.Clone()
+	b[0] = Int(2)
+	if a[0].AsInt() != 1 {
+		t.Fatal("Clone aliases storage")
+	}
+	if !a.Equal(Row(1, "x")) || a.Equal(Row(1, "y")) || a.Equal(Row(1)) {
+		t.Fatal("Tuple.Equal wrong")
+	}
+	if a.Compare(Row(1, "y")) >= 0 || a.Compare(Row(0, "x")) <= 0 || a.Compare(a) != 0 {
+		t.Fatal("Tuple.Compare wrong")
+	}
+	if Row(1).Compare(Row(1, "x")) >= 0 {
+		t.Fatal("shorter tuple should sort first")
+	}
+	cat := a.Concat(Row(true))
+	if len(cat) != 3 || !cat[2].AsBool() {
+		t.Fatal("Concat wrong")
+	}
+	proj := cat.Project([]int{2, 0})
+	if !proj.Equal(Row(true, 1)) {
+		t.Fatal("Project wrong")
+	}
+	if got := a.String(); got != `[1, "x"]` {
+		t.Fatalf("Tuple.String = %q", got)
+	}
+}
+
+func TestRowPanicsOnUnsupported(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Row should panic on unsupported kind")
+		}
+	}()
+	Row(struct{}{})
+}
+
+func TestTupleKeySelfDelimiting(t *testing.T) {
+	// ["a","b"] vs ["ab"] must not collide; nor ["a|","b"] vs ["a","|b"].
+	pairs := [][2]Tuple{
+		{Row("a", "b"), Row("ab")},
+		{Row("a|", "b"), Row("a", "|b")},
+		{Row(1, 2), Row(12)},
+		{Row(""), Row()},
+	}
+	for _, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("key collision between %v and %v", p[0], p[1])
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package sharedlog
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvm/internal/bag"
+	"dvm/internal/schema"
+)
+
+func sch() *schema.Schema {
+	return schema.NewSchema(schema.Col("x", schema.TInt))
+}
+
+func rows(vs ...int) *bag.Bag {
+	b := bag.New()
+	for _, v := range vs {
+		b.Add(schema.Row(v), 1)
+	}
+	return b
+}
+
+func TestAppendHeadTailLen(t *testing.T) {
+	l := New("R", sch())
+	if l.Table() != "R" || l.Schema().Len() != 1 {
+		t.Fatal("metadata wrong")
+	}
+	if l.Head() != 0 || l.Tail() != 0 || l.Len() != 0 {
+		t.Fatal("fresh log not empty")
+	}
+	if lsn := l.Append(rows(1), rows(2)); lsn != 0 {
+		t.Fatalf("first lsn = %d", lsn)
+	}
+	if lsn := l.Append(nil, nil); lsn != 1 {
+		t.Fatalf("second lsn = %d", lsn)
+	}
+	if l.Head() != 2 || l.Len() != 2 {
+		t.Fatalf("head=%d len=%d", l.Head(), l.Len())
+	}
+	if l.TupleVolume() != 2 {
+		t.Fatalf("volume = %d", l.TupleVolume())
+	}
+}
+
+func TestMergeComposition(t *testing.T) {
+	// Insert x then delete x: the merged window is empty (net change).
+	l := New("R", sch())
+	l.Append(bag.New(), rows(7))
+	l.Append(rows(7), bag.New())
+	del, ins, err := l.Merge(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !del.Empty() || !ins.Empty() {
+		t.Fatalf("insert-then-delete should cancel: ▼=%v ▲=%v", del, ins)
+	}
+	// Delete y then insert y: both sides retain y (the paper's weakly
+	// minimal form keeps the pair; strong minimality would cancel it).
+	l2 := New("R", sch())
+	l2.Append(rows(9), bag.New())
+	l2.Append(bag.New(), rows(9))
+	del, ins, err = l2.Merge(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Count(schema.Row(9)) != 1 || ins.Count(schema.Row(9)) != 1 {
+		t.Fatalf("delete-then-insert: ▼=%v ▲=%v", del, ins)
+	}
+}
+
+func TestMergeEmptyWindowAndErrors(t *testing.T) {
+	l := New("R", sch())
+	l.Append(rows(1), rows(2))
+	del, ins, err := l.Merge(1, 1)
+	if err != nil || !del.Empty() || !ins.Empty() {
+		t.Fatal("empty window should merge to (∅,∅)")
+	}
+	if _, _, err := l.Merge(0, 5); err == nil {
+		t.Fatal("window past head accepted")
+	}
+	if _, _, err := l.Merge(1, 0); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	l.TruncateTo(1)
+	if _, _, err := l.Merge(0, 1); err == nil {
+		t.Fatal("truncated window accepted")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l := New("R", sch())
+	for i := 0; i < 5; i++ {
+		l.Append(rows(i), rows(i+10))
+	}
+	l.TruncateTo(3)
+	if l.Tail() != 3 || l.Len() != 2 {
+		t.Fatalf("tail=%d len=%d", l.Tail(), l.Len())
+	}
+	// Remaining entries must still merge correctly.
+	del, ins, err := l.Merge(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Count(schema.Row(3)) != 1 || del.Count(schema.Row(4)) != 1 {
+		t.Fatalf("merge after truncate wrong: %v", del)
+	}
+	_ = ins
+	// Clipping behaviour.
+	l.TruncateTo(0) // below tail: no-op
+	if l.Tail() != 3 {
+		t.Fatal("backward truncate moved tail")
+	}
+	l.TruncateTo(99) // past head: clipped
+	if l.Tail() != 5 || l.Len() != 0 {
+		t.Fatalf("clip failed: tail=%d len=%d", l.Tail(), l.Len())
+	}
+}
+
+// TestMergeAssociativity checks Lemma 3 at the log level: merging the
+// whole window equals merging two sub-windows and composing the results.
+func TestMergeAssociativity(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		l := New("R", sch())
+		n := 2 + r.Intn(6)
+		for i := 0; i < n; i++ {
+			d, in := bag.New(), bag.New()
+			for j, m := 0, r.Intn(3); j < m; j++ {
+				d.Add(schema.Row(r.Intn(4)), 1+r.Intn(2))
+			}
+			for j, m := 0, r.Intn(3); j < m; j++ {
+				in.Add(schema.Row(r.Intn(4)), 1+r.Intn(2))
+			}
+			l.Append(d, in)
+		}
+		mid := int64(r.Intn(n + 1))
+		wholeDel, wholeIns, err := l.Merge(0, int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, i1, err := l.Merge(0, mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, i2, err := l.Merge(mid, int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compose (d1,i1) then (d2,i2) with the same operator.
+		x := bag.Monus(d2, i1)
+		i := bag.UnionAll(bag.Monus(i1, d2), i2)
+		d := bag.UnionAll(d1, x)
+		if !d.Equal(wholeDel) || !i.Equal(wholeIns) {
+			t.Fatalf("trial %d: window merge not associative:\nwhole ▼=%v ▲=%v\nsplit ▼=%v ▲=%v",
+				trial, wholeDel, wholeIns, d, i)
+		}
+	}
+}
+
+// TestMergeMatchesReplay: applying the merged (▼,▲) to a starting state
+// must equal replaying every entry — for entries generated the way the
+// engine generates them (deletes normalized against the running state).
+func TestMergeMatchesReplay(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		start := bag.New()
+		for i, n := 0, r.Intn(8); i < n; i++ {
+			start.Add(schema.Row(r.Intn(4)), 1+r.Intn(2))
+		}
+		cur := start.Clone()
+		l := New("R", sch())
+		for i, n := 0, 1+r.Intn(5); i < n; i++ {
+			d, in := bag.New(), bag.New()
+			for j, m := 0, r.Intn(3); j < m; j++ {
+				d.Add(schema.Row(r.Intn(4)), 1+r.Intn(2))
+			}
+			for j, m := 0, r.Intn(3); j < m; j++ {
+				in.Add(schema.Row(r.Intn(4)), 1+r.Intn(2))
+			}
+			d = bag.Min(d, cur) // weak minimality, as Normalize does
+			cur = bag.UnionAll(bag.Monus(cur, d), in)
+			l.Append(d, in)
+		}
+		del, ins, err := l.Merge(l.Tail(), l.Head())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := bag.UnionAll(bag.Monus(start, del), ins)
+		if !got.Equal(cur) {
+			t.Fatalf("trial %d: merged window does not reproduce replay:\nstart=%v replay=%v merged ▼=%v ▲=%v -> %v",
+				trial, start, cur, del, ins, got)
+		}
+		// Weak minimality of the merged pair relative to the CURRENT
+		// state: ▲ ⊑ cur.
+		if !ins.SubBagOf(cur) {
+			t.Fatalf("trial %d: merged ▲ ⋢ current state", trial)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package sql
+
+import (
+	"fmt"
+
+	"dvm/internal/algebra"
+	"dvm/internal/bag"
+	"dvm/internal/schema"
+)
+
+// Aggregation is supported in top-level queries (analysts aggregating
+// over base tables and view contents). Materialized view definitions
+// deliberately exclude it, exactly as the paper does ("we omit
+// aggregation since it is orthogonal to the problems that we discuss",
+// Example 1.1).
+
+// AggExpr is an aggregate call in a SELECT item: COUNT(*)/COUNT(e)/
+// SUM(e)/AVG(e)/MIN(e)/MAX(e).
+type AggExpr struct {
+	Func string // COUNT | SUM | AVG | MIN | MAX
+	Arg  Expr   // nil for COUNT(*)
+	Star bool
+}
+
+func (*AggExpr) expr() {}
+
+// hasAggregates reports whether any select item is an aggregate.
+func hasAggregates(s *SimpleSelect) bool {
+	for _, item := range s.Items {
+		if _, ok := item.Expr.(*AggExpr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// containsAggregates reports whether the whole (possibly compound)
+// statement uses aggregation anywhere.
+func containsAggregates(st *SelectStmt) bool {
+	if hasAggregates(st.Head) {
+		return true
+	}
+	for _, op := range st.Ops {
+		if hasAggregates(op.Right) {
+			return true
+		}
+	}
+	return false
+}
+
+// execAggregate evaluates an aggregating SELECT: the FROM/WHERE part is
+// compiled to the algebra, evaluated, and the rows are grouped by the
+// GROUP BY columns (every non-aggregate item must be one of them).
+func (e *Engine) execAggregate(s *SimpleSelect, st *SelectStmt) (*Result, error) {
+	if len(st.Ops) > 0 {
+		return nil, fmt.Errorf("sql: aggregates cannot be combined with UNION/EXCEPT/MONUS")
+	}
+	if s.Distinct {
+		return nil, fmt.Errorf("sql: DISTINCT with aggregates is not supported")
+	}
+	if s.Star {
+		return nil, fmt.Errorf("sql: SELECT * cannot be aggregated")
+	}
+
+	// Source rows: FROM + WHERE, all columns.
+	src := &SimpleSelect{Star: true, From: s.From, Where: s.Where}
+	expr, err := CompileSelect(&SelectStmt{Head: src}, e.queryResolver())
+	if err != nil {
+		return nil, err
+	}
+	rows, err := algebra.Eval(expr, e.db)
+	if err != nil {
+		return nil, err
+	}
+	inSchema := expr.Schema()
+
+	// Classify items: group keys (column refs, must be in GROUP BY) and
+	// aggregates.
+	type aggSpec struct {
+		fn   string
+		eval func(schema.Tuple) schema.Value // nil for COUNT(*)
+		typ  schema.Type
+	}
+	type keySpec struct {
+		pos int
+	}
+	groupSet := map[string]bool{}
+	for _, g := range s.GroupBy {
+		groupSet[g] = true
+	}
+	var keys []keySpec
+	var aggs []aggSpec
+	kind := make([]int, len(s.Items)) // index into keys (>=0) or ^index into aggs
+	outCols := make([]schema.Column, len(s.Items))
+	for i, item := range s.Items {
+		switch x := item.Expr.(type) {
+		case *ColRef:
+			if len(s.GroupBy) == 0 {
+				return nil, fmt.Errorf("sql: bare column %q with aggregates needs GROUP BY", x.Name)
+			}
+			if !groupSet[x.Name] {
+				return nil, fmt.Errorf("sql: column %q is not in GROUP BY", x.Name)
+			}
+			pos, err := inSchema.Lookup(x.Name)
+			if err != nil {
+				return nil, err
+			}
+			kind[i] = len(keys)
+			keys = append(keys, keySpec{pos: pos})
+			name := item.Alias
+			if name == "" {
+				name = stripQualifier(x.Name)
+			}
+			outCols[i] = schema.Col(name, inSchema.Column(pos).Type)
+		case *AggExpr:
+			spec := aggSpec{fn: x.Func}
+			if x.Star {
+				if x.Func != "COUNT" {
+					return nil, fmt.Errorf("sql: %s(*) is not valid", x.Func)
+				}
+				spec.typ = schema.TInt
+			} else {
+				sc, err := toScalar(x.Arg)
+				if err != nil {
+					return nil, err
+				}
+				fn, typ, err := algebra.BindScalar(sc, inSchema)
+				if err != nil {
+					return nil, err
+				}
+				spec.eval = fn
+				switch x.Func {
+				case "COUNT":
+					spec.typ = schema.TInt
+				case "AVG":
+					spec.typ = schema.TFloat
+				case "SUM":
+					if typ == schema.TInt {
+						spec.typ = schema.TInt
+					} else if typ == schema.TFloat {
+						spec.typ = schema.TFloat
+					} else {
+						return nil, fmt.Errorf("sql: SUM over non-numeric type %s", typ)
+					}
+				case "MIN", "MAX":
+					spec.typ = typ
+				default:
+					return nil, fmt.Errorf("sql: unknown aggregate %q", x.Func)
+				}
+			}
+			kind[i] = ^len(aggs)
+			aggs = append(aggs, spec)
+			name := item.Alias
+			if name == "" {
+				name = aggName(x)
+			}
+			outCols[i] = schema.Col(name, spec.typ)
+		default:
+			return nil, fmt.Errorf("sql: select item %d must be a column or an aggregate", i+1)
+		}
+	}
+	// GROUP BY columns not projected are still legal; resolve them all
+	// for the grouping key.
+	groupPos := make([]int, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		p, err := inSchema.Lookup(g)
+		if err != nil {
+			return nil, err
+		}
+		groupPos[i] = p
+	}
+
+	// Accumulate per group.
+	type acc struct {
+		rep    schema.Tuple // representative source tuple (group keys)
+		count  int64        // COUNT(*) incl. duplicates
+		counts []int64      // per-agg non-null counts
+		sums   []float64
+		isum   []int64
+		mins   []schema.Value
+		maxs   []schema.Value
+	}
+	groups := map[string]*acc{}
+	order := []string{}
+	rows.Each(func(t schema.Tuple, n int) {
+		k := t.Project(groupPos).Key()
+		a, ok := groups[k]
+		if !ok {
+			a = &acc{
+				rep:    t,
+				counts: make([]int64, len(aggs)),
+				sums:   make([]float64, len(aggs)),
+				isum:   make([]int64, len(aggs)),
+				mins:   make([]schema.Value, len(aggs)),
+				maxs:   make([]schema.Value, len(aggs)),
+			}
+			groups[k] = a
+			order = append(order, k)
+		}
+		a.count += int64(n)
+		for i, sp := range aggs {
+			if sp.eval == nil {
+				continue // COUNT(*): handled by a.count
+			}
+			v := sp.eval(t)
+			if v.IsNull() {
+				continue
+			}
+			a.counts[i] += int64(n)
+			if v.Numeric() {
+				a.sums[i] += v.AsFloat() * float64(n)
+				if v.Type() == schema.TInt {
+					a.isum[i] += v.AsInt() * int64(n)
+				}
+			}
+			if a.mins[i].IsNull() && a.counts[i] == int64(n) {
+				a.mins[i], a.maxs[i] = v, v
+				continue
+			}
+			if v.Compare(a.mins[i]) < 0 {
+				a.mins[i] = v
+			}
+			if v.Compare(a.maxs[i]) > 0 {
+				a.maxs[i] = v
+			}
+		}
+	})
+
+	out := bag.New()
+	outSchema := schema.NewSchema(outCols...)
+	emit := func(a *acc) error {
+		tu := make(schema.Tuple, len(s.Items))
+		for i := range s.Items {
+			if kind[i] >= 0 {
+				tu[i] = a.rep[keys[kind[i]].pos]
+				continue
+			}
+			j := ^kind[i]
+			sp := aggs[j]
+			switch sp.fn {
+			case "COUNT":
+				if sp.eval == nil {
+					tu[i] = schema.Int(a.count)
+				} else {
+					tu[i] = schema.Int(a.counts[j])
+				}
+			case "SUM":
+				if a.counts[j] == 0 {
+					tu[i] = schema.Null()
+				} else if sp.typ == schema.TInt {
+					tu[i] = schema.Int(a.isum[j])
+				} else {
+					tu[i] = schema.Float(a.sums[j])
+				}
+			case "AVG":
+				if a.counts[j] == 0 {
+					tu[i] = schema.Null()
+				} else {
+					tu[i] = schema.Float(a.sums[j] / float64(a.counts[j]))
+				}
+			case "MIN":
+				tu[i] = a.mins[j]
+			case "MAX":
+				tu[i] = a.maxs[j]
+			}
+		}
+		out.Add(tu, 1)
+		return nil
+	}
+	for _, k := range order {
+		if err := emit(groups[k]); err != nil {
+			return nil, err
+		}
+	}
+	// No groups and no GROUP BY: SQL returns one row of empty aggregates.
+	if len(groups) == 0 && len(s.GroupBy) == 0 {
+		empty := &acc{
+			rep:    make(schema.Tuple, inSchema.Len()),
+			counts: make([]int64, len(aggs)),
+			sums:   make([]float64, len(aggs)),
+			isum:   make([]int64, len(aggs)),
+			mins:   make([]schema.Value, len(aggs)),
+			maxs:   make([]schema.Value, len(aggs)),
+		}
+		if err := emit(empty); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Rows: out, Schema: outSchema}, nil
+}
+
+func aggName(x *AggExpr) string {
+	if x.Star {
+		return "count"
+	}
+	base := "expr"
+	if c, ok := x.Arg.(*ColRef); ok {
+		base = stripQualifier(c.Name)
+	}
+	switch x.Func {
+	case "COUNT":
+		return "count_" + base
+	case "SUM":
+		return "sum_" + base
+	case "AVG":
+		return "avg_" + base
+	case "MIN":
+		return "min_" + base
+	case "MAX":
+		return "max_" + base
+	}
+	return base
+}

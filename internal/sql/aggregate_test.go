@@ -1,0 +1,184 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"dvm/internal/schema"
+)
+
+func aggEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine()
+	if _, err := e.ExecScript(`
+		CREATE TABLE orders (cust STRING, amount FLOAT, qty INT);
+		INSERT INTO orders VALUES
+			('ann', 10.0, 2),
+			('ann', 30.0, 1),
+			('bob', 5.0,  4),
+			('bob', 5.0,  4),
+			('cat', 7.5,  NULL);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func one(t *testing.T, e *Engine, q string) schema.Tuple {
+	t.Helper()
+	r, err := e.Exec(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	ts := r.Rows.Tuples()
+	if len(ts) != 1 {
+		t.Fatalf("%s: %d rows, want 1: %v", q, len(ts), r.Rows)
+	}
+	return ts[0]
+}
+
+func TestAggregatesWholeTable(t *testing.T) {
+	e := aggEngine(t)
+	tu := one(t, e, "SELECT COUNT(*), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM orders o")
+	if tu[0].AsInt() != 5 {
+		t.Fatalf("COUNT(*) = %v", tu[0])
+	}
+	if tu[1].AsFloat() != 57.5 {
+		t.Fatalf("SUM = %v", tu[1])
+	}
+	if tu[2].AsFloat() != 11.5 {
+		t.Fatalf("AVG = %v", tu[2])
+	}
+	if tu[3].AsFloat() != 5.0 || tu[4].AsFloat() != 30.0 {
+		t.Fatalf("MIN/MAX = %v / %v", tu[3], tu[4])
+	}
+	// COUNT(col) skips NULLs; SUM of INT column stays INT.
+	tu = one(t, e, "SELECT COUNT(qty), SUM(qty) FROM orders o")
+	if tu[0].AsInt() != 4 {
+		t.Fatalf("COUNT(qty) = %v, want 4 (one NULL)", tu[0])
+	}
+	if tu[1].Type() != schema.TInt || tu[1].AsInt() != 11 {
+		t.Fatalf("SUM(qty) = %v, want INT 11", tu[1])
+	}
+}
+
+func TestAggregatesGroupBy(t *testing.T) {
+	e := aggEngine(t)
+	r, err := e.Exec("SELECT o.cust, COUNT(*) AS n, SUM(o.amount) AS total FROM orders o GROUP BY o.cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows.Len() != 3 {
+		t.Fatalf("groups = %v", r.Rows)
+	}
+	if !r.Rows.Contains(schema.Row("ann", 2, 40.0)) {
+		t.Fatalf("ann group wrong: %v", r.Rows)
+	}
+	// bob has duplicate rows: multiplicities must count.
+	if !r.Rows.Contains(schema.Row("bob", 2, 10.0)) {
+		t.Fatalf("bob group wrong: %v", r.Rows)
+	}
+	if r.Schema.Column(1).Name != "n" || r.Schema.Column(2).Name != "total" {
+		t.Fatalf("output schema = %s", r.Schema)
+	}
+}
+
+func TestAggregatesWithWhereAndJoin(t *testing.T) {
+	e := newRetailEngine(t, "DEFERRED COMBINED")
+	if _, err := e.Exec("REFRESH hv"); err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate over the VIEW — the warehouse use case.
+	r, err := e.Exec("SELECT v.custId, SUM(v.quantity) AS q FROM hv v GROUP BY v.custId")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows.Len() != 2 {
+		t.Fatalf("view groups = %v", r.Rows)
+	}
+	tu := one(t, e, "SELECT COUNT(*) FROM sales s WHERE s.quantity > 0")
+	if tu[0].AsInt() != 3 {
+		t.Fatalf("filtered count = %v", tu[0])
+	}
+	// Aggregate over a join.
+	tu = one(t, e, `SELECT SUM(s.quantity) FROM customer c, sales s
+		WHERE c.custId = s.custId AND c.score = 'High'`)
+	if tu[0].AsInt() != 6 {
+		t.Fatalf("join sum = %v", tu[0])
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	e := aggEngine(t)
+	tu := one(t, e, "SELECT COUNT(*), SUM(amount), MIN(amount) FROM orders o WHERE amount > 1000.0")
+	if tu[0].AsInt() != 0 {
+		t.Fatalf("COUNT over empty = %v", tu[0])
+	}
+	if !tu[1].IsNull() || !tu[2].IsNull() {
+		t.Fatalf("SUM/MIN over empty should be NULL: %v %v", tu[1], tu[2])
+	}
+	// Empty input WITH GROUP BY: zero rows.
+	r, err := e.Exec("SELECT cust, COUNT(*) FROM orders o WHERE amount > 1000.0 GROUP BY cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows.Len() != 0 {
+		t.Fatalf("grouped empty input = %v", r.Rows)
+	}
+}
+
+func TestAggregateMinMaxKeywords(t *testing.T) {
+	e := aggEngine(t)
+	tu := one(t, e, "SELECT MIN(qty), MAX(qty) FROM orders o")
+	if tu[0].AsInt() != 1 || tu[1].AsInt() != 4 {
+		t.Fatalf("MIN/MAX = %v / %v", tu[0], tu[1])
+	}
+	// The bare MIN compound operator still works.
+	r, err := e.Exec("SELECT cust FROM orders o MIN SELECT cust FROM orders o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows.Len() != 5 {
+		t.Fatalf("compound MIN broken: %v", r.Rows)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	e := aggEngine(t)
+	for _, bad := range []string{
+		"SELECT cust, COUNT(*) FROM orders o",                                   // bare column without GROUP BY
+		"SELECT amount, COUNT(*) FROM orders o GROUP BY cust",                   // column not in GROUP BY
+		"SELECT SUM(cust) FROM orders o",                                        // non-numeric SUM
+		"SELECT SUM(*) FROM orders o",                                           // star on non-COUNT
+		"SELECT DISTINCT COUNT(*) FROM orders o",                                // DISTINCT + agg
+		"SELECT COUNT(*) FROM orders o UNION ALL SELECT COUNT(*) FROM orders o", // compound + agg
+		"SELECT COUNT(nothere) FROM orders o",                                   // unknown column
+		"SELECT cust, COUNT(*) FROM orders o GROUP BY nothere",                  // unknown group col
+	} {
+		if _, err := e.Exec(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	// Materialized views must reject aggregation.
+	_, err := e.Exec("CREATE MATERIALIZED VIEW agg AS SELECT cust, COUNT(*) FROM orders o GROUP BY cust")
+	if err == nil || !strings.Contains(err.Error(), "aggregate") {
+		t.Fatalf("aggregating view accepted: %v", err)
+	}
+	_, err = e.Exec("CREATE MATERIALIZED VIEW agg AS SELECT cust FROM orders o GROUP BY cust")
+	if err == nil {
+		t.Fatal("GROUP BY view accepted")
+	}
+}
+
+func TestAggregateSQLPrinting(t *testing.T) {
+	st := mustParse(t, "SELECT o.cust, COUNT(*) AS n, SUM(o.amount) FROM orders o WHERE o.qty > 0 GROUP BY o.cust")
+	printed := SQL(st)
+	for _, want := range []string{"COUNT(*)", "SUM(o.amount)", "GROUP BY o.cust", "AS n"} {
+		if !strings.Contains(printed, want) {
+			t.Fatalf("printed SQL %q missing %q", printed, want)
+		}
+	}
+	if _, err := Parse(printed); err != nil {
+		t.Fatalf("printed aggregate SQL does not re-parse: %v", err)
+	}
+}

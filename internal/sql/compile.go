@@ -1,0 +1,226 @@
+package sql
+
+import (
+	"fmt"
+
+	"dvm/internal/algebra"
+	"dvm/internal/schema"
+)
+
+// Resolver maps a FROM-clause name to the storage table that backs it
+// (for views, the MV table) and its schema, or reports an error.
+type Resolver func(name string) (algebra.Expr, error)
+
+// CompileSelect compiles a (possibly compound) SELECT into a bag-algebra
+// expression using the resolver for FROM names.
+func CompileSelect(st *SelectStmt, resolve Resolver) (algebra.Expr, error) {
+	head, err := compileSimple(st.Head, resolve)
+	if err != nil {
+		return nil, err
+	}
+	out := head
+	for _, op := range st.Ops {
+		right, err := compileSimple(op.Right, resolve)
+		if err != nil {
+			return nil, err
+		}
+		switch op.Op {
+		case "UNION ALL":
+			out, err = algebra.NewUnionAll(out, right)
+		case "EXCEPT":
+			out, err = algebra.ExceptOf(out, right)
+		case "MONUS":
+			out, err = algebra.NewMonus(out, right)
+		case "MIN":
+			out, err = algebra.MinOf(out, right)
+		case "MAX":
+			out, err = algebra.MaxOf(out, right)
+		default:
+			return nil, fmt.Errorf("sql: unknown compound operator %q", op.Op)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func compileSimple(s *SimpleSelect, resolve Resolver) (algebra.Expr, error) {
+	if len(s.From) == 0 {
+		return nil, fmt.Errorf("sql: empty FROM clause")
+	}
+	// FROM: product of all sources, each qualified by its alias.
+	var src algebra.Expr
+	for _, ref := range s.From {
+		base, err := resolve(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		alias := ref.Alias
+		if alias == "" {
+			alias = ref.Name
+		}
+		q := algebra.Qualified(base, alias)
+		if src == nil {
+			src = q
+		} else {
+			src = algebra.NewProduct(src, q)
+		}
+	}
+
+	// WHERE.
+	if s.Where != nil {
+		pred, err := toPredicate(s.Where)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := algebra.NewSelect(pred, src)
+		if err != nil {
+			return nil, err
+		}
+		src = sel
+	}
+
+	// Projection. Items must be column references (the bag algebra's Π_A
+	// projects attributes; computed columns are outside the paper's
+	// grammar and therefore outside this dialect).
+	out := src
+	if !s.Star {
+		cols := make([]string, len(s.Items))
+		outs := make([]string, len(s.Items))
+		for i, item := range s.Items {
+			cr, ok := item.Expr.(*ColRef)
+			if !ok {
+				return nil, fmt.Errorf("sql: SELECT item %d is not a column reference (Π_A projects attributes only)", i+1)
+			}
+			cols[i] = cr.Name
+			outs[i] = item.Alias
+			if outs[i] == "" {
+				outs[i] = stripQualifier(cr.Name)
+			}
+		}
+		p, err := algebra.NewProject(cols, outs, src)
+		if err != nil {
+			return nil, err
+		}
+		out = p
+	}
+
+	if s.Distinct {
+		out = algebra.NewDupElim(out)
+	}
+	return out, nil
+}
+
+func stripQualifier(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// toPredicate converts a boolean SQL expression to an algebra predicate.
+func toPredicate(e Expr) (algebra.Predicate, error) {
+	switch x := e.(type) {
+	case *BinExpr:
+		switch x.Op {
+		case "AND":
+			l, err := toPredicate(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := toPredicate(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return algebra.AndOf(l, r), nil
+		case "OR":
+			l, err := toPredicate(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := toPredicate(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return algebra.OrOf(l, r), nil
+		case "=", "!=", "<", "<=", ">", ">=":
+			l, err := toScalar(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := toScalar(x.R)
+			if err != nil {
+				return nil, err
+			}
+			var op algebra.CmpOp
+			switch x.Op {
+			case "=":
+				op = algebra.EQ
+			case "!=":
+				op = algebra.NE
+			case "<":
+				op = algebra.LT
+			case "<=":
+				op = algebra.LE
+			case ">":
+				op = algebra.GT
+			case ">=":
+				op = algebra.GE
+			}
+			return algebra.Cmp{Op: op, L: l, R: r}, nil
+		default:
+			return nil, fmt.Errorf("sql: %q is not a boolean operator", x.Op)
+		}
+	case *NotExpr:
+		inner, err := toPredicate(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NotOf(inner), nil
+	case Lit:
+		if x.Value.Type() == schema.TBool {
+			return algebra.BoolLit{Value: x.Value.AsBool()}, nil
+		}
+		return nil, fmt.Errorf("sql: literal %s is not boolean", x.Value)
+	case *ColRef:
+		return nil, fmt.Errorf("sql: bare column %q is not a boolean expression", x.Name)
+	}
+	return nil, fmt.Errorf("sql: cannot use %T as a predicate", e)
+}
+
+// toScalar converts a scalar SQL expression to an algebra scalar.
+func toScalar(e Expr) (algebra.Scalar, error) {
+	switch x := e.(type) {
+	case *ColRef:
+		return algebra.A(x.Name), nil
+	case Lit:
+		return algebra.Const{Value: x.Value}, nil
+	case *BinExpr:
+		var op algebra.ArithOp
+		switch x.Op {
+		case "+":
+			op = algebra.OpAdd
+		case "-":
+			op = algebra.OpSub
+		case "*":
+			op = algebra.OpMul
+		case "/":
+			op = algebra.OpDiv
+		default:
+			return nil, fmt.Errorf("sql: %q is not a scalar operator", x.Op)
+		}
+		l, err := toScalar(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := toScalar(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Arith{Op: op, L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("sql: cannot use %T as a scalar", e)
+}

@@ -1,0 +1,374 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dvm/internal/algebra"
+	"dvm/internal/bag"
+	"dvm/internal/core"
+	"dvm/internal/schema"
+	"dvm/internal/storage"
+	"dvm/internal/txn"
+)
+
+// Engine binds the SQL dialect to a database and a maintenance manager.
+// One Engine is one session; it is not safe for concurrent use.
+type Engine struct {
+	db  *storage.Database
+	mgr *core.Manager
+	// viewDDL remembers each SQL-created view's statement so snapshots
+	// (SaveTo) can persist and replay the definitions.
+	viewDDL map[string]*CreateView
+}
+
+// NewEngine creates an engine over a fresh database.
+func NewEngine() *Engine {
+	db := storage.NewDatabase()
+	return NewEngineOver(db, core.NewManager(db))
+}
+
+// NewEngineOver wraps an existing database and manager.
+func NewEngineOver(db *storage.Database, mgr *core.Manager) *Engine {
+	return &Engine{db: db, mgr: mgr, viewDDL: make(map[string]*CreateView)}
+}
+
+// DB exposes the underlying database.
+func (e *Engine) DB() *storage.Database { return e.db }
+
+// Manager exposes the maintenance manager.
+func (e *Engine) Manager() *core.Manager { return e.mgr }
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Rows and Schema are set for SELECT results.
+	Rows   *bag.Bag
+	Schema *schema.Schema
+	// Ordered carries the rows in ORDER BY order (after LIMIT) when the
+	// query requested one; Rows still holds the same multiset.
+	Ordered []schema.Tuple
+	// Message describes DDL/DML/maintenance outcomes.
+	Message string
+	// Count is rows inserted/deleted for DML.
+	Count int
+}
+
+// String renders a result for interactive display.
+func (r *Result) String() string {
+	if r.Rows == nil {
+		return r.Message
+	}
+	var sb strings.Builder
+	cols := r.Schema.Columns()
+	for i, c := range cols {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		sb.WriteString(c.Name)
+	}
+	sb.WriteByte('\n')
+	rows := r.Ordered
+	if rows == nil {
+		rows = r.Rows.Tuples()
+	}
+	for _, t := range rows {
+		for i, v := range t {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(fmt.Sprintf("(%d rows)", len(rows)))
+	return sb.String()
+}
+
+// Exec parses and executes one statement.
+func (e *Engine) Exec(input string) (*Result, error) {
+	st, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmt(st)
+}
+
+// ExecScript executes a semicolon-separated script, stopping at the
+// first error and returning the results so far.
+func (e *Engine) ExecScript(input string) ([]*Result, error) {
+	stmts, err := ParseScript(input)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, st := range stmts {
+		r, err := e.ExecStmt(st)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (e *Engine) ExecStmt(st Stmt) (*Result, error) {
+	switch s := st.(type) {
+	case *CreateTable:
+		if _, err := e.db.Create(s.Name, schema.NewSchema(s.Cols...), storage.External); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("table %s created", s.Name)}, nil
+
+	case *CreateView:
+		if len(s.Query.OrderBy) > 0 || s.Query.Limit >= 0 {
+			return nil, fmt.Errorf("sql: materialized views are bags; ORDER BY/LIMIT belong on queries")
+		}
+		if containsAggregates(s.Query) || len(s.Query.Head.GroupBy) > 0 {
+			return nil, fmt.Errorf("sql: materialized views cannot aggregate (the paper's algorithms cover the bag algebra; aggregation is orthogonal — aggregate when QUERYING the view instead)")
+		}
+		def, err := CompileSelect(s.Query, e.baseResolver())
+		if err != nil {
+			return nil, err
+		}
+		sc, err := scenarioFor(s.Mode)
+		if err != nil {
+			return nil, err
+		}
+		var opts []core.Option
+		if s.Strong {
+			opts = append(opts, core.WithStrongMinimality())
+		}
+		if _, err := e.mgr.DefineView(s.Name, def, sc, opts...); err != nil {
+			return nil, err
+		}
+		e.viewDDL[s.Name] = s
+		return &Result{Message: fmt.Sprintf("materialized view %s created (%s)", s.Name, sc)}, nil
+
+	case *DropStmt:
+		if s.View {
+			if err := e.mgr.DropView(s.Name); err != nil {
+				return nil, err
+			}
+			delete(e.viewDDL, s.Name)
+			return &Result{Message: fmt.Sprintf("view %s dropped", s.Name)}, nil
+		}
+		tb, err := e.db.Table(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		if tb.Kind() != storage.External {
+			return nil, fmt.Errorf("sql: cannot drop internal table %q", s.Name)
+		}
+		for _, v := range e.mgr.Views() {
+			for _, b := range v.BaseTables() {
+				if b == s.Name {
+					return nil, fmt.Errorf("sql: table %q is referenced by view %q", s.Name, v.Name)
+				}
+			}
+		}
+		if err := e.db.Drop(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("table %s dropped", s.Name)}, nil
+
+	case *SelectStmt:
+		var res *Result
+		if containsAggregates(s) || len(s.Head.GroupBy) > 0 {
+			r, err := e.execAggregate(s.Head, s)
+			if err != nil {
+				return nil, err
+			}
+			res = r
+		} else {
+			expr, err := CompileSelect(s, e.queryResolver())
+			if err != nil {
+				return nil, err
+			}
+			rows, err := algebra.Eval(expr, e.db)
+			if err != nil {
+				return nil, err
+			}
+			res = &Result{Rows: rows, Schema: expr.Schema()}
+		}
+		return applyOrderLimit(res, s)
+
+	case *ExplainStmt:
+		return e.execExplain(s)
+
+	case *InsertStmt:
+		return e.execInsert(s)
+
+	case *DeleteStmt:
+		return e.execDelete(s)
+
+	case *MaintStmt:
+		return e.execMaint(s)
+
+	case *ShowStmt:
+		return e.execShow(s)
+	}
+	return nil, fmt.Errorf("sql: unhandled statement %T", st)
+}
+
+func scenarioFor(mode string) (core.Scenario, error) {
+	switch mode {
+	case "IMMEDIATE":
+		return core.Immediate, nil
+	case "LOGGED":
+		return core.BaseLogs, nil
+	case "DIFFERENTIAL":
+		return core.DiffTables, nil
+	case "COMBINED":
+		return core.Combined, nil
+	}
+	return 0, fmt.Errorf("sql: unknown refresh mode %q", mode)
+}
+
+// baseResolver resolves only external tables — view definitions must be
+// over base tables.
+func (e *Engine) baseResolver() Resolver {
+	return func(name string) (algebra.Expr, error) {
+		tb, err := e.db.Table(name)
+		if err != nil {
+			if _, verr := e.mgr.View(name); verr == nil {
+				return nil, fmt.Errorf("sql: view definitions must reference base tables, not view %q", name)
+			}
+			return nil, err
+		}
+		if tb.Kind() != storage.External {
+			return nil, fmt.Errorf("sql: cannot reference internal table %q", name)
+		}
+		return algebra.NewBase(name, tb.Schema()), nil
+	}
+}
+
+// queryResolver resolves external tables and views (a view reads its MV
+// table — the possibly-stale materialization, which is the point of
+// deferred maintenance).
+func (e *Engine) queryResolver() Resolver {
+	return func(name string) (algebra.Expr, error) {
+		if v, err := e.mgr.View(name); err == nil {
+			tb, err := e.db.Table(v.MVTable())
+			if err != nil {
+				return nil, err
+			}
+			return algebra.NewBase(v.MVTable(), tb.Schema()), nil
+		}
+		tb, err := e.db.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		if tb.Kind() != storage.External {
+			return nil, fmt.Errorf("sql: cannot reference internal table %q", name)
+		}
+		return algebra.NewBase(name, tb.Schema()), nil
+	}
+}
+
+func (e *Engine) execInsert(s *InsertStmt) (*Result, error) {
+	tb, err := e.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if tb.Kind() != storage.External {
+		return nil, fmt.Errorf("sql: cannot insert into internal table %q", s.Table)
+	}
+	rows := bag.New()
+	for i, r := range s.Rows {
+		if len(r) != tb.Schema().Len() {
+			return nil, fmt.Errorf("sql: row %d has %d values, table %s has %d columns",
+				i+1, len(r), s.Table, tb.Schema().Len())
+		}
+		tu := make(schema.Tuple, len(r))
+		for j, l := range r {
+			tu[j] = l.Value
+		}
+		if err := tb.Schema().Validate(tu); err != nil {
+			return nil, fmt.Errorf("sql: row %d: %w", i+1, err)
+		}
+		rows.Add(tu, 1)
+	}
+	if err := e.mgr.Execute(txn.Insert(s.Table, rows)); err != nil {
+		return nil, err
+	}
+	n := len(s.Rows)
+	return &Result{Message: fmt.Sprintf("%d rows inserted", n), Count: n}, nil
+}
+
+func (e *Engine) execDelete(s *DeleteStmt) (*Result, error) {
+	tb, err := e.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if tb.Kind() != storage.External {
+		return nil, fmt.Errorf("sql: cannot delete from internal table %q", s.Table)
+	}
+	// Compute the delete bag: all copies of every matching tuple.
+	var matching *bag.Bag
+	if s.Where == nil {
+		matching = tb.Data().Clone()
+	} else {
+		pred, err := toPredicate(s.Where)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := algebra.NewSelect(pred, algebra.NewBase(s.Table, tb.Schema()))
+		if err != nil {
+			return nil, err
+		}
+		matching, err = algebra.Eval(sel, e.db)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := matching.Len()
+	if err := e.mgr.Execute(txn.Delete(s.Table, matching)); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("%d rows deleted", n), Count: n}, nil
+}
+
+func (e *Engine) execMaint(s *MaintStmt) (*Result, error) {
+	var err error
+	switch s.Op {
+	case "REFRESH":
+		err = e.mgr.Refresh(s.View)
+	case "PROPAGATE":
+		err = e.mgr.Propagate(s.View)
+	case "PARTIAL":
+		err = e.mgr.PartialRefresh(s.View)
+	case "RECOMPUTE":
+		err = e.mgr.RefreshRecompute(s.View)
+	case "CHECK":
+		if err := e.mgr.CheckInvariant(s.View); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("invariant holds for %s", s.View)}, nil
+	default:
+		err = fmt.Errorf("sql: unknown maintenance op %q", s.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("%s %s done", strings.ToLower(s.Op), s.View)}, nil
+}
+
+func (e *Engine) execShow(s *ShowStmt) (*Result, error) {
+	var names []string
+	if s.Views {
+		for _, v := range e.mgr.Views() {
+			names = append(names, fmt.Sprintf("%s (%s)", v.Name, v.Scenario))
+		}
+	} else {
+		for _, n := range e.db.Names() {
+			tb, _ := e.db.Table(n)
+			if tb.Kind() == storage.External {
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	return &Result{Message: strings.Join(names, "\n")}, nil
+}

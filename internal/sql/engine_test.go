@@ -1,0 +1,281 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"dvm/internal/schema"
+)
+
+func newRetailEngine(t *testing.T, mode string) *Engine {
+	t.Helper()
+	e := NewEngine()
+	script := `
+		CREATE TABLE customer (custId INT, name STRING, address STRING, score STRING);
+		CREATE TABLE sales (custId INT, itemNo INT, quantity INT, salesPrice FLOAT);
+		INSERT INTO customer VALUES
+			(1, 'ann', 'a st', 'High'),
+			(2, 'bob', 'b st', 'Low'),
+			(3, 'cat', 'c st', 'High');
+		INSERT INTO sales VALUES
+			(1, 10, 2, 9.99),
+			(1, 11, 0, 5.00),
+			(2, 10, 1, 9.99),
+			(3, 12, 4, 1.50);
+	`
+	if _, err := e.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	view := `CREATE MATERIALIZED VIEW hv REFRESH ` + mode + ` AS
+		SELECT c.custId, c.name, c.score, s.itemNo, s.quantity
+		FROM customer c, sales s
+		WHERE c.custId = s.custId AND s.quantity != 0 AND c.score = 'High'`
+	if _, err := e.Exec(view); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineEndToEndCombined(t *testing.T) {
+	e := newRetailEngine(t, "DEFERRED COMBINED")
+
+	r, err := e.Exec("SELECT * FROM hv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows.Len() != 2 {
+		t.Fatalf("initial view = %d rows: %v", r.Rows.Len(), r.Rows)
+	}
+
+	// New sale for a High customer: view is stale until refresh.
+	if _, err := e.Exec("INSERT INTO sales VALUES (3, 99, 7, 2.00)"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = e.Exec("SELECT * FROM hv")
+	if r.Rows.Len() != 2 {
+		t.Fatal("deferred view should be stale before refresh")
+	}
+	if _, err := e.Exec("CHECK INVARIANT hv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("PROPAGATE hv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("PARTIAL REFRESH hv"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = e.Exec("SELECT * FROM hv")
+	if r.Rows.Len() != 3 {
+		t.Fatalf("after partial refresh: %d rows", r.Rows.Len())
+	}
+	if _, err := e.Exec("REFRESH hv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("CHECK INVARIANT hv"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete all of customer 1's sales; refresh must drop them.
+	if _, err := e.Exec("DELETE FROM sales WHERE custId = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("REFRESH hv"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = e.Exec("SELECT * FROM hv WHERE custId = 1")
+	if r.Rows.Len() != 0 {
+		t.Fatalf("customer 1 rows survived: %v", r.Rows)
+	}
+}
+
+func TestEngineImmediateMode(t *testing.T) {
+	e := newRetailEngine(t, "IMMEDIATE")
+	if _, err := e.Exec("INSERT INTO sales VALUES (1, 50, 3, 1.00)"); err != nil {
+		t.Fatal(err)
+	}
+	// Immediate: view is current without any refresh.
+	r, _ := e.Exec("SELECT * FROM hv WHERE itemNo = 50")
+	if r.Rows.Len() != 1 {
+		t.Fatalf("immediate view stale: %v", r.Rows)
+	}
+}
+
+func TestEngineDuplicateSemantics(t *testing.T) {
+	e := newRetailEngine(t, "DEFERRED LOGGED")
+	// The same sale twice: bag semantics keeps both.
+	if _, err := e.Exec("INSERT INTO sales VALUES (1, 77, 1, 1.00), (1, 77, 1, 1.00)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("REFRESH hv"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.Exec("SELECT * FROM hv WHERE itemNo = 77")
+	if r.Rows.Len() != 2 {
+		t.Fatalf("duplicates = %d, want 2", r.Rows.Len())
+	}
+	// DISTINCT collapses them.
+	r, _ = e.Exec("SELECT DISTINCT custId, itemNo FROM hv WHERE itemNo = 77")
+	if r.Rows.Len() != 1 {
+		t.Fatalf("distinct = %d, want 1", r.Rows.Len())
+	}
+}
+
+func TestEngineCompoundQueries(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.ExecScript(`
+		CREATE TABLE a (x INT);
+		CREATE TABLE b (x INT);
+		INSERT INTO a VALUES (1), (1), (2);
+		INSERT INTO b VALUES (1), (3);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]int{
+		"SELECT * FROM a UNION ALL SELECT * FROM b": 5,
+		"SELECT * FROM a EXCEPT SELECT * FROM b":    1, // EXCEPT kills all 1s
+		"SELECT * FROM a MONUS SELECT * FROM b":     2, // monus leaves one 1
+		"SELECT * FROM a MIN SELECT * FROM b":       1,
+		"SELECT * FROM a MAX SELECT * FROM b":       4,
+	}
+	for q, want := range cases {
+		r, err := e.Exec(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if r.Rows.Len() != want {
+			t.Errorf("%s = %d rows, want %d", q, r.Rows.Len(), want)
+		}
+	}
+}
+
+func TestEngineViewOverViewRejected(t *testing.T) {
+	e := newRetailEngine(t, "DEFERRED")
+	_, err := e.Exec("CREATE MATERIALIZED VIEW vv AS SELECT * FROM hv")
+	if err == nil || !strings.Contains(err.Error(), "base tables") {
+		t.Fatalf("view over view accepted: %v", err)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	e := newRetailEngine(t, "DEFERRED")
+	for _, bad := range []string{
+		"SELECT * FROM nothere",
+		"INSERT INTO nothere VALUES (1)",
+		"INSERT INTO sales VALUES (1)",                      // arity
+		"INSERT INTO sales VALUES ('x', 1, 1, 1.0)",         // type
+		"INSERT INTO __mv_hv VALUES (1, 'x', 'High', 1, 1)", // internal
+		"DELETE FROM __mv_hv",                               // internal
+		"SELECT quantity + name FROM sales",                 // type error in projection? (non-colref)
+		"SELECT * FROM sales WHERE name = 1 AND",            // parse error
+		"REFRESH nothere",
+		"PROPAGATE hv2",
+		"DROP TABLE sales", // referenced by view
+		"DROP TABLE __mv_hv",
+		"CREATE TABLE sales (x INT)", // duplicate
+	} {
+		if _, err := e.Exec(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestEngineDropViewThenTable(t *testing.T) {
+	e := newRetailEngine(t, "DEFERRED")
+	if _, err := e.Exec("DROP VIEW hv"); err != nil {
+		t.Fatal(err)
+	}
+	if e.DB().Has("__mv_hv") || e.DB().Has("__log_ins_sales__hv") {
+		t.Fatal("aux tables survived drop")
+	}
+	if _, err := e.Exec("DROP TABLE sales"); err != nil {
+		t.Fatalf("drop after view removal should work: %v", err)
+	}
+}
+
+func TestEngineShow(t *testing.T) {
+	e := newRetailEngine(t, "DEFERRED")
+	r, err := e.Exec("SHOW TABLES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Message, "sales") || strings.Contains(r.Message, "__mv_hv") {
+		t.Fatalf("SHOW TABLES = %q", r.Message)
+	}
+	r, _ = e.Exec("SHOW VIEWS")
+	if !strings.Contains(r.Message, "hv (C)") {
+		t.Fatalf("SHOW VIEWS = %q", r.Message)
+	}
+}
+
+func TestEngineArithmeticInWhere(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.ExecScript(`
+		CREATE TABLE t (x INT, y FLOAT);
+		INSERT INTO t VALUES (1, 2.0), (2, 8.0), (3, 3.0);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Exec("SELECT x FROM t WHERE y / 2 >= x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1,2.0): 1 >= 1 ✓; (2,8.0): 4 >= 2 ✓; (3,3.0): 1.5 >= 3 ✗
+	if r.Rows.Len() != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestEngineRecomputeStatement(t *testing.T) {
+	e := newRetailEngine(t, "DEFERRED LOGGED")
+	if _, err := e.Exec("INSERT INTO sales VALUES (1, 60, 2, 1.0)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("RECOMPUTE hv"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.Exec("SELECT * FROM hv WHERE itemNo = 60")
+	if r.Rows.Len() != 1 {
+		t.Fatal("recompute did not update the view")
+	}
+	if _, err := e.Exec("CHECK INVARIANT hv"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.ExecScript("CREATE TABLE t (x INT, s STRING); INSERT INTO t VALUES (1, 'a')"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Exec("SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	if !strings.Contains(out, "t.x | t.s") || !strings.Contains(out, `1 | "a"`) || !strings.Contains(out, "(1 rows)") {
+		t.Fatalf("Result.String = %q", out)
+	}
+	msg := &Result{Message: "done"}
+	if msg.String() != "done" {
+		t.Fatal("message result string wrong")
+	}
+}
+
+func TestEngineInsertNullValidation(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.ExecScript("CREATE TABLE t (x INT, s STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("INSERT INTO t VALUES (NULL, NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.Exec("SELECT * FROM t")
+	if r.Rows.Len() != 1 {
+		t.Fatal("NULL row lost")
+	}
+	tu := r.Rows.Tuples()[0]
+	if !tu[0].IsNull() {
+		t.Fatal("NULL not preserved")
+	}
+	_ = schema.TNull
+}

@@ -1,0 +1,128 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"dvm/internal/schema"
+)
+
+func TestOrderByAndLimit(t *testing.T) {
+	e := aggEngine(t)
+	r, err := e.Exec("SELECT cust, amount FROM orders o ORDER BY amount DESC, cust LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ordered) != 3 {
+		t.Fatalf("LIMIT ignored: %d rows", len(r.Ordered))
+	}
+	if r.Ordered[0][1].AsFloat() != 30.0 || r.Ordered[2][1].AsFloat() != 7.5 {
+		t.Fatalf("ordering wrong: %v", r.Ordered)
+	}
+	// String() renders the ordered rows and the limited count.
+	out := r.String()
+	if !strings.Contains(out, "(3 rows)") {
+		t.Fatalf("String = %q", out)
+	}
+	if strings.Index(out, "30") > strings.Index(out, "7.5") {
+		t.Fatalf("ordered rendering wrong:\n%s", out)
+	}
+
+	// Ascending default.
+	r, err = e.Exec("SELECT amount FROM orders o ORDER BY amount ASC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ordered[0][0].AsFloat() != 5.0 {
+		t.Fatalf("ASC wrong: %v", r.Ordered)
+	}
+
+	// LIMIT without ORDER BY: deterministic canonical order.
+	r, err = e.Exec("SELECT cust FROM orders o LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ordered) != 2 {
+		t.Fatalf("bare LIMIT wrong: %v", r.Ordered)
+	}
+
+	// ORDER BY over aggregates.
+	r, err = e.Exec("SELECT cust, SUM(amount) AS total FROM orders o GROUP BY cust ORDER BY total DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ordered) != 1 || !r.Ordered[0].Equal(schema.Row("ann", 40.0)) {
+		t.Fatalf("top group wrong: %v", r.Ordered)
+	}
+
+	// Errors.
+	if _, err := e.Exec("SELECT cust FROM orders o ORDER BY nothere"); err == nil {
+		t.Fatal("unknown ORDER BY column accepted")
+	}
+	if _, err := e.Exec("SELECT cust FROM orders o LIMIT -1"); err == nil {
+		t.Fatal("negative LIMIT accepted")
+	}
+	if _, err := e.Exec("SELECT cust FROM orders o LIMIT x"); err == nil {
+		t.Fatal("non-numeric LIMIT accepted")
+	}
+}
+
+func TestExplainQuery(t *testing.T) {
+	e := newRetailEngine(t, "DEFERRED COMBINED")
+	r, err := e.Exec(`EXPLAIN SELECT c.name FROM customer c, sales s WHERE c.custId = s.custId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"algebra:", "σ[", "×", "schema:", "name STRING"} {
+		if !strings.Contains(r.Message, want) {
+			t.Fatalf("EXPLAIN missing %q:\n%s", want, r.Message)
+		}
+	}
+	if _, err := e.Exec("EXPLAIN SELECT COUNT(*) FROM sales s"); err == nil {
+		t.Fatal("EXPLAIN of aggregates should be rejected")
+	}
+}
+
+func TestExplainView(t *testing.T) {
+	e := newRetailEngine(t, "DEFERRED COMBINED")
+	r, err := e.Exec("EXPLAIN VIEW hv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"scenario:   C", "PAST(L,Q)", "bases:      customer, sales",
+		"▼(L,Q)/▲(L,Q)", "__log_", "delete:", "insert:",
+	} {
+		if !strings.Contains(r.Message, want) {
+			t.Fatalf("EXPLAIN VIEW missing %q:\n%s", want, r.Message)
+		}
+	}
+	if _, err := e.Exec("EXPLAIN VIEW nope"); err == nil {
+		t.Fatal("EXPLAIN of missing view accepted")
+	}
+}
+
+func TestExplainImmediateAndSelfMaintainable(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.ExecScript(`
+		CREATE TABLE t (x INT);
+		CREATE MATERIALIZED VIEW pos REFRESH DEFERRED LOGGED AS SELECT x FROM t WHERE x > 0;
+		CREATE MATERIALIZED VIEW im REFRESH IMMEDIATE AS SELECT x FROM t WHERE x > 0;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Exec("EXPLAIN VIEW pos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Message, "self-maintainable: yes") {
+		t.Fatalf("SP view not flagged self-maintainable:\n%s", r.Message)
+	}
+	r, err = e.Exec("EXPLAIN VIEW im")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Message, "∇(T,Q)/△(T,Q)") || !strings.Contains(r.Message, "__tx_") {
+		t.Fatalf("immediate view EXPLAIN wrong:\n%s", r.Message)
+	}
+}

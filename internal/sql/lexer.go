@@ -1,0 +1,130 @@
+// Package sql implements a small embedded SQL dialect compiled to the bag
+// algebra: CREATE TABLE, CREATE MATERIALIZED VIEW ... REFRESH
+// IMMEDIATE/DEFERRED, SELECT (joins, WHERE, DISTINCT, UNION ALL, EXCEPT,
+// MONUS), INSERT, DELETE, and the maintenance statements REFRESH,
+// PROPAGATE, and PARTIAL REFRESH. Bag (SQL duplicate) semantics
+// throughout, matching the paper.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "MATERIALIZED": true, "VIEW": true,
+	"AS": true, "SELECT": true, "DISTINCT": true, "FROM": true,
+	"WHERE": true, "AND": true, "OR": true, "NOT": true, "UNION": true,
+	"ALL": true, "EXCEPT": true, "MONUS": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "DELETE": true, "REFRESH": true,
+	"PROPAGATE": true, "PARTIAL": true, "IMMEDIATE": true, "DEFERRED": true,
+	"LOGGED": true, "DIFFERENTIAL": true, "COMBINED": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "INT": true, "FLOAT": true, "STRING": true,
+	"BOOL": true, "DROP": true, "SHOW": true, "TABLES": true, "VIEWS": true,
+	"MIN": true, "MAX": true, "GROUP": true, "BY": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true, "EXPLAIN": true, "RECOMPUTE": true, "INVARIANT": true, "CHECK": true,
+}
+
+// lex tokenizes the input. It returns a descriptive error with a byte
+// position on malformed input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // comment to EOL
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case unicode.IsDigit(rune(c)):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at byte %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+		case strings.ContainsRune("(),*.=<>!+-/;", rune(c)):
+			start := i
+			// two-char operators
+			if i+1 < n {
+				two := input[i : i+2]
+				if two == "<=" || two == ">=" || two == "!=" || two == "<>" {
+					toks = append(toks, token{kind: tokSymbol, text: two, pos: start})
+					i += 2
+					continue
+				}
+			}
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at byte %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}

@@ -1,0 +1,113 @@
+package sql
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dvm/internal/core"
+	"dvm/internal/storage"
+)
+
+// Engine snapshots persist the external tables plus the SQL of every
+// materialized view. Loading restores the base data and replays the
+// view DDL, re-materializing each view from the restored state — so a
+// loaded engine starts with every view consistent and empty logs.
+//
+// Format: magic "DVME" | u32 viewCount | per view: u32 len + SQL bytes |
+// a storage snapshot of the external tables.
+
+var engineMagic = [4]byte{'D', 'V', 'M', 'E'}
+
+// SaveTo writes an engine snapshot.
+func (e *Engine) SaveTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(engineMagic[:]); err != nil {
+		return err
+	}
+	views := e.mgr.Views()
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(len(views)))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	for _, v := range views {
+		cv, ok := e.viewDDL[v.Name]
+		if !ok {
+			return fmt.Errorf("sql: view %q was not created through SQL; snapshot cannot persist it", v.Name)
+		}
+		stmt := SQL(cv)
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(stmt)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(stmt); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	// External tables only: internal state is re-derived on load.
+	ext := e.db.Snapshot()
+	for _, name := range ext.Names() {
+		tb, err := ext.Table(name)
+		if err != nil {
+			return err
+		}
+		if tb.Kind() != storage.External {
+			if err := ext.Drop(name); err != nil {
+				return err
+			}
+		}
+	}
+	return ext.Save(w)
+}
+
+// LoadEngine restores an engine snapshot written by SaveTo.
+func LoadEngine(r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("sql: load: %w", err)
+	}
+	if magic != engineMagic {
+		return nil, fmt.Errorf("sql: load: bad magic %q", magic[:])
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(buf[:])
+	if count > 1<<20 {
+		return nil, fmt.Errorf("sql: load: implausible view count %d", count)
+	}
+	ddl := make([]string, count)
+	for i := range ddl {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint32(buf[:])
+		if n > 1<<24 {
+			return nil, fmt.Errorf("sql: load: implausible DDL length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		ddl[i] = string(b)
+	}
+	db, err := storage.Load(br)
+	if err != nil {
+		return nil, err
+	}
+	e := NewEngineOver(db, core.NewManager(db))
+	for _, stmt := range ddl {
+		if _, err := e.Exec(stmt); err != nil {
+			return nil, fmt.Errorf("sql: load: replaying %q: %w", stmt, err)
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,142 @@
+package txn
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LockStats accumulates exclusive-lock hold times for a table — the
+// paper's "view downtime" (Section 1.1): while a view table is
+// write-locked, readers are blocked.
+type LockStats struct {
+	WriteHolds    int           // number of exclusive sections
+	WriteHoldTime time.Duration // total exclusive hold time
+	MaxWriteHold  time.Duration // longest single exclusive hold
+	ReadWaits     int           // reader acquisitions
+	ReadWaitTime  time.Duration // total time readers spent blocked
+	MaxReadWait   time.Duration // longest single reader stall
+}
+
+// LockManager provides per-table reader/writer locks with deterministic
+// (sorted) acquisition order, and records write-hold durations so the
+// benchmark harness can report downtime.
+type LockManager struct {
+	mu    sync.Mutex
+	locks map[string]*sync.RWMutex
+	stats map[string]*LockStats
+	clock func() time.Time
+}
+
+// NewLockManager returns an empty lock manager.
+func NewLockManager() *LockManager {
+	return &LockManager{
+		locks: make(map[string]*sync.RWMutex),
+		stats: make(map[string]*LockStats),
+		clock: time.Now,
+	}
+}
+
+func (lm *LockManager) lockFor(table string) (*sync.RWMutex, *LockStats) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	l, ok := lm.locks[table]
+	if !ok {
+		l = &sync.RWMutex{}
+		lm.locks[table] = l
+		lm.stats[table] = &LockStats{}
+	}
+	return l, lm.stats[table]
+}
+
+func sortedUnique(tables []string) []string {
+	out := append([]string(nil), tables...)
+	sort.Strings(out)
+	j := 0
+	for i, t := range out {
+		if i == 0 || t != out[i-1] {
+			out[j] = t
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// WithWrite runs f holding exclusive locks on the given tables, in
+// sorted order to avoid deadlock, recording hold time against each.
+func (lm *LockManager) WithWrite(tables []string, f func() error) error {
+	ts := sortedUnique(tables)
+	type held struct {
+		l *sync.RWMutex
+		s *LockStats
+	}
+	hs := make([]held, len(ts))
+	for i, t := range ts {
+		l, s := lm.lockFor(t)
+		l.Lock()
+		hs[i] = held{l: l, s: s}
+	}
+	start := lm.clock()
+	err := f()
+	elapsed := lm.clock().Sub(start)
+	lm.mu.Lock()
+	for _, h := range hs {
+		h.s.WriteHolds++
+		h.s.WriteHoldTime += elapsed
+		if elapsed > h.s.MaxWriteHold {
+			h.s.MaxWriteHold = elapsed
+		}
+	}
+	lm.mu.Unlock()
+	for i := len(hs) - 1; i >= 0; i-- {
+		hs[i].l.Unlock()
+	}
+	return err
+}
+
+// WithRead runs f holding shared locks on the given tables, recording
+// how long acquisition blocked (time spent waiting behind refreshes).
+func (lm *LockManager) WithRead(tables []string, f func() error) error {
+	ts := sortedUnique(tables)
+	locks := make([]*sync.RWMutex, len(ts))
+	stats := make([]*LockStats, len(ts))
+	for i, t := range ts {
+		locks[i], stats[i] = lm.lockFor(t)
+	}
+	for i, l := range locks {
+		start := lm.clock()
+		l.RLock()
+		waited := lm.clock().Sub(start)
+		lm.mu.Lock()
+		stats[i].ReadWaits++
+		stats[i].ReadWaitTime += waited
+		if waited > stats[i].MaxReadWait {
+			stats[i].MaxReadWait = waited
+		}
+		lm.mu.Unlock()
+	}
+	err := f()
+	for i := len(locks) - 1; i >= 0; i-- {
+		locks[i].RUnlock()
+	}
+	return err
+}
+
+// Stats returns a copy of the accumulated stats for a table.
+func (lm *LockManager) Stats(table string) LockStats {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if s, ok := lm.stats[table]; ok {
+		return *s
+	}
+	return LockStats{}
+}
+
+// Reset clears the accumulated statistics (locks remain valid).
+func (lm *LockManager) Reset() {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for k := range lm.stats {
+		lm.stats[k] = &LockStats{}
+	}
+}

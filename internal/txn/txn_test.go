@@ -1,0 +1,190 @@
+package txn
+
+import (
+	"testing"
+
+	"dvm/internal/algebra"
+	"dvm/internal/bag"
+	"dvm/internal/schema"
+	"dvm/internal/storage"
+)
+
+func setup(t *testing.T) (*storage.Database, *schema.Schema) {
+	t.Helper()
+	db := storage.NewDatabase()
+	sch := schema.NewSchema(schema.Col("x", schema.TInt))
+	r, err := db.Create("R", sch, storage.External)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{1, 1, 2, 3} {
+		if err := r.Insert(schema.Row(v), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Create("S", sch, storage.External); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Create("_mv", sch, storage.Internal); err != nil {
+		t.Fatal(err)
+	}
+	return db, sch
+}
+
+func TestInsertDeleteConstructors(t *testing.T) {
+	db, _ := setup(t)
+	if err := Insert("R", bag.Of(schema.Row(9))).Apply(db); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := db.Bag("R")
+	if b.Count(schema.Row(9)) != 1 {
+		t.Fatal("Insert txn failed")
+	}
+	if err := Delete("R", bag.Of(schema.Row(9))).Apply(db); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = db.Bag("R")
+	if b.Contains(schema.Row(9)) {
+		t.Fatal("Delete txn failed")
+	}
+}
+
+func TestApplySimpleSemantics(t *testing.T) {
+	db, _ := setup(t)
+	// Delete one copy of 1 and insert a 4, simultaneously.
+	tx := Txn{"R": {Delete: bag.Of(schema.Row(1)), Insert: bag.Of(schema.Row(4))}}
+	if err := tx.Apply(db); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := db.Bag("R")
+	want := bag.Of(schema.Row(1), schema.Row(2), schema.Row(3), schema.Row(4))
+	if !b.Equal(want) {
+		t.Fatalf("apply wrong: %v", b)
+	}
+	// Deleting more copies than exist clamps (monus semantics).
+	tx = Txn{"R": {Delete: bag.Of(schema.Row(1), schema.Row(1), schema.Row(1))}}
+	if err := tx.Apply(db); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = db.Bag("R")
+	if b.Contains(schema.Row(1)) {
+		t.Fatal("clamped delete wrong")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	db, _ := setup(t)
+	bad := Txn{"R": {Insert: bag.Of(schema.Row("string"))}}
+	if err := bad.Apply(db); err == nil {
+		t.Fatal("type-violating insert accepted")
+	}
+	// Nothing was applied.
+	b, _ := db.Bag("R")
+	if b.Len() != 4 {
+		t.Fatal("partial application after validation failure")
+	}
+	missing := Txn{"ghost": {Insert: bag.Of(schema.Row(1))}}
+	if err := missing.Apply(db); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Insert("R", bag.Of(schema.Row(1)))
+	b := Txn{"R": {Delete: bag.Of(schema.Row(2))}, "S": {Insert: bag.Of(schema.Row(3))}}
+	m := a.Merge(b)
+	u := m["R"]
+	if u.Insert.Count(schema.Row(1)) != 1 || u.Delete.Count(schema.Row(2)) != 1 {
+		t.Fatalf("merge R wrong: %+v", u)
+	}
+	if m["S"].Insert.Count(schema.Row(3)) != 1 {
+		t.Fatal("merge S wrong")
+	}
+	// Inputs unchanged.
+	if a["R"].Delete != nil {
+		t.Fatal("merge mutated input")
+	}
+}
+
+func TestNormalizeWeakMinimality(t *testing.T) {
+	db, _ := setup(t) // R = {1,1,2,3}
+	tx := Txn{"R": {Delete: bag.Of(schema.Row(1), schema.Row(1), schema.Row(1), schema.Row(5))}}
+	n, err := tx.Normalize(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := n["R"].Delete
+	// Capped to the 2 existing copies of 1; the non-existent 5 vanishes.
+	if d.Count(schema.Row(1)) != 2 || d.Contains(schema.Row(5)) {
+		t.Fatalf("normalize wrong: %v", d)
+	}
+	rBag, _ := db.Bag("R")
+	if !d.SubBagOf(rBag) {
+		t.Fatal("normalized delete not a subbag of R")
+	}
+	// Same net effect.
+	db2 := db.Snapshot()
+	if err := tx.Apply(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Apply(db2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := db.Bag("R")
+	b2, _ := db2.Bag("R")
+	if !b1.Equal(b2) {
+		t.Fatal("normalization changed the transaction's effect")
+	}
+	if _, err := (Txn{"ghost": {}}).Normalize(db); err == nil {
+		t.Fatal("normalize of unknown table should fail")
+	}
+}
+
+func TestTouchesInternal(t *testing.T) {
+	db, _ := setup(t)
+	user := Insert("R", bag.Of(schema.Row(9)))
+	if name, bad := user.TouchesInternal(db); bad {
+		t.Fatalf("external write misflagged: %s", name)
+	}
+	evil := Insert("_mv", bag.Of(schema.Row(9)))
+	if name, bad := evil.TouchesInternal(db); !bad || name != "_mv" {
+		t.Fatal("internal write not flagged")
+	}
+}
+
+func TestApplyAssignmentsSimultaneous(t *testing.T) {
+	db, sch := setup(t)
+	sT, _ := db.Table("S")
+	if err := sT.Insert(schema.Row(100), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Swap R and S simultaneously: {R := S, S := R}. Sequential
+	// application would make both equal; simultaneous must swap.
+	r := algebra.NewBase("R", sch)
+	s := algebra.NewBase("S", sch)
+	err := ApplyAssignments(db, []Assignment{
+		{Table: "R", Expr: s},
+		{Table: "S", Expr: r},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := db.Bag("R")
+	sb, _ := db.Bag("S")
+	if !rb.Equal(bag.Of(schema.Row(100))) {
+		t.Fatalf("R after swap = %v", rb)
+	}
+	if sb.Len() != 4 {
+		t.Fatalf("S after swap = %v", sb)
+	}
+}
+
+func TestApplyAssignmentsErrors(t *testing.T) {
+	db, sch := setup(t)
+	if err := ApplyAssignments(db, []Assignment{{Table: "ghost", Expr: algebra.NewBase("R", sch)}}); err == nil {
+		t.Fatal("assignment to unknown table accepted")
+	}
+	if err := ApplyAssignments(db, []Assignment{{Table: "R", Expr: algebra.NewBase("ghost", sch)}}); err == nil {
+		t.Fatal("assignment reading unknown table accepted")
+	}
+}
