@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test lint check fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/dvmlint ./...
+
+# The expanded tier-1 gate: build + vet + dvmlint + race tests + bounded
+# fuzzing. Same battery as scripts/check.sh.
+check:
+	./scripts/check.sh
+
+fuzz:
+	$(GO) test ./internal/algebra -run '^$$' -fuzz '^FuzzExprParseEval$$' -fuzztime=30s
+	$(GO) test ./internal/bag -run '^$$' -fuzz '^FuzzBagOps$$' -fuzztime=30s

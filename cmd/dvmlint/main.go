@@ -1,0 +1,70 @@
+// Command dvmlint runs the repo-specific static-analysis suite over
+// the module: lock-discipline, bag-mutation, nondeterministic-
+// iteration, dropped-error, and invariant-touch (see
+// docs/static-analysis.md). It prints one "file:line:col: [check]
+// message" per finding and exits non-zero if any survive suppression.
+//
+// Usage:
+//
+//	dvmlint [-checks check1,check2] [./...]
+//
+// Package patterns are accepted for command-line compatibility but the
+// whole module containing the working directory is always analyzed —
+// the analyzers are cross-cutting, so partial loads would miss
+// inter-package facts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dvm/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-28s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.Select(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := lint.RunAnalyzers(pkgs, analyzers, lint.DefaultConfig())
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dvmlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -33,7 +33,9 @@ func main() {
 			os.Exit(1)
 		}
 		engine, err = sql.LoadEngine(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "load:", err)
 			os.Exit(1)
@@ -47,7 +49,7 @@ func main() {
 				os.Exit(1)
 			}
 			if err := engine.SaveTo(f); err != nil {
-				f.Close()
+				_ = f.Close() // the snapshot is already broken; the write error is what matters
 				fmt.Fprintln(os.Stderr, "save:", err)
 				os.Exit(1)
 			}

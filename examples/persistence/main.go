@@ -15,7 +15,7 @@ import (
 
 func main() {
 	snap := filepath.Join(os.TempDir(), "dvm-example-snapshot.bin")
-	defer os.Remove(snap)
+	defer func() { _ = os.Remove(snap) }() // best-effort temp cleanup
 
 	// Day 1: build the warehouse and take a snapshot at close of business.
 	day1 := dvm.NewEngine()

@@ -1,0 +1,161 @@
+package algebra
+
+import (
+	"testing"
+
+	"dvm/internal/bag"
+	"dvm/internal/schema"
+)
+
+// exprDecoder is a recursive-descent parser over the fuzz byte stream:
+// each byte is an opcode (leaf or operator) and operands are drawn from
+// subsequent bytes. Running out of bytes or hitting the depth cap
+// degrades to a leaf, so every input decodes to a well-formed Expr over
+// the universe's closed (a, b) schema.
+type exprDecoder struct {
+	data []byte
+	pos  int
+	uni  *RandomUniverse
+}
+
+func (d *exprDecoder) next() byte {
+	if d.pos >= len(d.data) {
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *exprDecoder) leaf() Expr {
+	switch b := d.next(); b % 4 {
+	case 0:
+		return Empty(d.uni.Sch)
+	case 1:
+		lit, err := Singleton(d.uni.Sch, schema.Row(int(d.next()%4), int(d.next()%4)))
+		if err != nil {
+			panic(err)
+		}
+		return lit
+	default:
+		return NewBase(d.uni.Tables[int(b)%len(d.uni.Tables)], d.uni.Sch)
+	}
+}
+
+func (d *exprDecoder) pred() Predicate {
+	col := func() Scalar {
+		if d.next()%2 == 0 {
+			return A("a")
+		}
+		return A("b")
+	}
+	var rhs Scalar = C(int(d.next() % 4))
+	if d.next()%3 == 0 {
+		rhs = col()
+	}
+	ops := []CmpOp{EQ, NE, LT, LE, GT, GE}
+	c := Cmp{Op: ops[int(d.next())%len(ops)], L: col(), R: rhs}
+	switch d.next() % 6 {
+	case 0:
+		return NotOf(c)
+	case 1:
+		return AndOf(c, Cmp{Op: ops[int(d.next())%len(ops)], L: col(), R: C(int(d.next() % 4))})
+	case 2:
+		return OrOf(c, Cmp{Op: ops[int(d.next())%len(ops)], L: col(), R: C(int(d.next() % 4))})
+	default:
+		return c
+	}
+}
+
+func (d *exprDecoder) expr(depth int) Expr {
+	if depth <= 0 || d.pos >= len(d.data) {
+		return d.leaf()
+	}
+	must := func(e Expr, err error) Expr {
+		if err != nil {
+			panic(err)
+		}
+		return e
+	}
+	switch d.next() % 12 {
+	case 0, 1:
+		return d.leaf()
+	case 2:
+		return must(NewSelect(d.pred(), d.expr(depth-1)))
+	case 3:
+		cols := []string{"b", "a"}
+		if d.next()%2 == 0 {
+			cols = []string{"a", "a"}
+		}
+		return must(NewProject(cols, []string{"a", "b"}, d.expr(depth-1)))
+	case 4:
+		return NewDupElim(d.expr(depth - 1))
+	case 5:
+		return must(NewUnionAll(d.expr(depth-1), d.expr(depth-1)))
+	case 6:
+		return must(NewMonus(d.expr(depth-1), d.expr(depth-1)))
+	case 7:
+		prod := NewProduct(Qualified(d.expr(depth-1), "l"), Qualified(d.expr(depth-1), "r"))
+		return must(NewProject([]string{"l.a", "r.b"}, []string{"a", "b"}, prod))
+	case 8:
+		return must(MinOf(d.expr(depth-1), d.expr(depth-1)))
+	case 9:
+		return must(MaxOf(d.expr(depth-1), d.expr(depth-1)))
+	case 10:
+		return must(ExceptOf(d.expr(depth-1), d.expr(depth-1)))
+	default:
+		return must(NewSelect(d.pred(), d.expr(depth-1)))
+	}
+}
+
+// state derives a database instance from the remaining bytes, so the
+// fuzzer controls both the query and the data it runs over.
+func (d *exprDecoder) state() MapSource {
+	st := MapSource{}
+	for _, name := range d.uni.Tables {
+		b := bag.New()
+		for i, n := 0, int(d.next()%6); i < n; i++ {
+			b.Add(schema.Row(int(d.next()%4), int(d.next()%4)), 1+int(d.next()%3))
+		}
+		st[name] = b
+	}
+	return st
+}
+
+// FuzzExprParseEval decodes arbitrary bytes into a bag-algebra
+// expression plus a database state, evaluates it, and checks the two
+// metamorphic properties the maintenance algorithms lean on: Optimize
+// preserves bag semantics exactly (same multiplicities, not just the
+// same set), and evaluation is deterministic.
+func FuzzExprParseEval(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 1, 3, 7, 2})
+	f.Add([]byte{5, 3, 3, 6, 1, 2, 2, 0, 9, 4})
+	f.Add([]byte{7, 1, 1, 1, 8, 10, 5, 0, 3, 3, 9, 2, 6, 6})
+	f.Add([]byte{255, 254, 253, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &exprDecoder{data: data, uni: NewRandomUniverse(3)}
+		e := d.expr(5)
+		st := d.state()
+
+		got, err := Eval(e, st)
+		if err != nil {
+			t.Fatalf("Eval(%s): %v", e, err)
+		}
+		again, err := Eval(e, st)
+		if err != nil || !got.Equal(again) {
+			t.Fatalf("Eval not deterministic for %s: %v", e, err)
+		}
+
+		opt := Optimize(e)
+		optGot, err := Eval(opt, st)
+		if err != nil {
+			t.Fatalf("Eval(Optimize(%s)) = Eval(%s): %v", e, opt, err)
+		}
+		if !got.Equal(optGot) {
+			t.Fatalf("Optimize changed semantics:\n  expr: %s\n  opt:  %s\n  got:  %s\n  want: %s",
+				e, opt, optGot, got)
+		}
+	})
+}

@@ -129,6 +129,22 @@ func (b *Bag) Each(f func(t schema.Tuple, n int)) {
 	}
 }
 
+// EachOrdered calls f once per distinct tuple in canonical (sorted key)
+// order — deterministic iteration for ordered sinks such as snapshots,
+// rendered output, and floating-point accumulation, at the cost of an
+// O(d log d) sort over the d distinct tuples. f must not mutate the bag.
+func (b *Bag) EachOrdered(f func(t schema.Tuple, n int)) {
+	keys := make([]string, 0, len(b.m))
+	for k := range b.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := b.m[k]
+		f(e.tuple, e.count)
+	}
+}
+
 // Tuples returns every tuple with duplicates expanded, in canonical
 // (sorted) order; intended for tests and display.
 func (b *Bag) Tuples() []schema.Tuple {

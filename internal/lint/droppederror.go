@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerDroppedError flags calls whose error result is silently
+// discarded (expression statements, defers, and go statements). Every
+// maintenance transaction in this engine reports failure through an
+// error — a dropped one can leave an invariant (INV_BL/INV_DT/INV_C)
+// silently violated, which the whole deferred-maintenance scheme
+// assumes never happens. Explicit discards (`_ = f()`) are allowed:
+// they are visible in review. Exemptions: the fmt print family and
+// methods on strings.Builder/bytes.Buffer, whose errors are
+// unobservable by construction.
+var analyzerDroppedError = &Analyzer{
+	Name: "dropped-error",
+	Doc:  "error results must be handled or explicitly discarded with _ =",
+	Run:  runDroppedError,
+}
+
+func runDroppedError(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		name := p.Pkg.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				c, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				call = c
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			default:
+				return true
+			}
+			p.checkDiscardedCall(call)
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkDiscardedCall(call *ast.CallExpr) {
+	t := p.TypeOf(call)
+	if t == nil || !resultHasError(t) {
+		return
+	}
+	f := CalleeOf(p.Pkg.Info, call)
+	if f != nil && errorExempt(f) {
+		return
+	}
+	name := "call"
+	if f != nil {
+		name = f.Name()
+	}
+	p.Reportf(call.Pos(), "result of %s includes an error that is silently dropped; handle it or discard explicitly with _ =", name)
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func resultHasError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// errorExempt reports whether f's error is conventionally ignorable:
+// the fmt print family and in-memory builders that document err==nil.
+func errorExempt(f *types.Func) bool {
+	if f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		return true
+	}
+	return isMethodOn(f, "strings", "Builder") || isMethodOn(f, "bytes", "Buffer")
+}

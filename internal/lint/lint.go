@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a position, the analyzer that produced
+// it, and a message. Rendered as "file:line:col: [check] message".
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Config carries the repo-specific knowledge the analyzers need. The
+// defaults describe this module; tests point the roles at fixture
+// packages instead.
+type Config struct {
+	// CorePkg is the maintenance core: the only package allowed to
+	// mutate MV/∇MV/△MV/log tables, and only from Blessed functions.
+	CorePkg string
+	// BagPkg, TxnPkg, StoragePkg locate the types the analyzers key on.
+	BagPkg     string
+	TxnPkg     string
+	StoragePkg string
+	// OrderedPkgs are packages whose output ordering matters (they
+	// build reports, snapshots, deltas, or SQL results); map iteration
+	// feeding ordered sinks is flagged there.
+	OrderedPkgs []string
+	// Blessed are the CorePkg functions implementing the paper's
+	// refresh_*/propagate_*/makesafe_* transactions (Figure 3) plus
+	// view definition; only they may touch maintained tables.
+	Blessed []string
+}
+
+// DefaultConfig returns the production configuration for this module.
+func DefaultConfig() Config {
+	return Config{
+		CorePkg:    "dvm/internal/core",
+		BagPkg:     "dvm/internal/bag",
+		TxnPkg:     "dvm/internal/txn",
+		StoragePkg: "dvm/internal/storage",
+		OrderedPkgs: []string{
+			"dvm/internal/algebra",
+			"dvm/internal/bench",
+			"dvm/internal/core",
+			"dvm/internal/sql",
+			"dvm/internal/storage",
+		},
+		Blessed: []string{
+			// makesafe_* (Execute bundles every view's bookkeeping).
+			"Execute", "appendToLogs", "appendShared",
+			// refresh_* family.
+			"refreshFromLogLocked", "applyDiffTablesLocked", "RefreshRecompute",
+			// propagate_* family (incl. shared-log window upkeep).
+			"foldLog", "materializeWindow",
+			// View (de)initialization.
+			"DefineView",
+		},
+	}
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Pkg      *Package
+	Cfg      Config
+	check    string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// CalleeOf resolves the function or method a call invokes, or nil.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fn].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fn.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isMethodOn reports whether f is a method whose receiver is T or *T
+// for the named type pkgPath.typeName.
+func isMethodOn(f *types.Func, pkgPath, typeName string) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isPtrToNamed reports whether t is *pkgPath.typeName.
+func isPtrToNamed(t types.Type, pkgPath, typeName string) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// All returns the analyzer registry in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		analyzerLockDiscipline,
+		analyzerBagMutation,
+		analyzerMapIteration,
+		analyzerDroppedError,
+		analyzerInvariantTouch,
+	}
+}
+
+// Select returns the named analyzers (comma-separated; empty = all).
+func Select(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// suppression is one parsed //dvmlint:ignore comment.
+type suppression struct {
+	pos    token.Position
+	checks map[string]bool
+	reason string
+}
+
+const ignorePrefix = "//dvmlint:ignore"
+
+// collectSuppressions parses //dvmlint:ignore comments per file. A
+// suppression on line N silences matching findings on lines N and N+1
+// (i.e. it may sit on the offending line or immediately above it).
+// Syntax: //dvmlint:ignore check[,check...] reason text. A missing
+// reason or an unknown check name is itself reported.
+func collectSuppressions(pkg *Package, known map[string]bool, findings *[]Finding) map[string][]suppression {
+	out := map[string][]suppression{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					*findings = append(*findings, Finding{Pos: pos, Check: "dvmlint",
+						Message: "suppression names no check; use //dvmlint:ignore check reason"})
+					continue
+				}
+				checks := map[string]bool{}
+				bad := false
+				for _, n := range strings.Split(fields[0], ",") {
+					if !known[n] {
+						*findings = append(*findings, Finding{Pos: pos, Check: "dvmlint",
+							Message: fmt.Sprintf("suppression names unknown check %q", n)})
+						bad = true
+						continue
+					}
+					checks[n] = true
+				}
+				if len(fields) < 2 {
+					*findings = append(*findings, Finding{Pos: pos, Check: "dvmlint",
+						Message: "suppression requires a written reason after the check name"})
+					continue // a reasonless suppression does not suppress
+				}
+				if bad && len(checks) == 0 {
+					continue
+				}
+				out[pos.Filename] = append(out[pos.Filename], suppression{
+					pos:    pos,
+					checks: checks,
+					reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers runs each analyzer over each package, applies
+// suppressions, and returns the surviving findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Finding {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var raw []Finding
+		sups := collectSuppressions(pkg, known, &findings)
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, Cfg: cfg, check: a.Name, findings: &raw})
+		}
+		for _, f := range raw {
+			if !suppressed(f, sups) {
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return findings
+}
+
+func suppressed(f Finding, sups map[string][]suppression) bool {
+	for _, s := range sups[f.Pos.Filename] {
+		if !s.checks[f.Check] {
+			continue
+		}
+		if s.pos.Line == f.Pos.Line || s.pos.Line == f.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the fixture golden files")
+
+const fixturePrefix = "dvm/internal/lint/testdata/src/"
+
+// fixtureCases drives the per-analyzer self-tests: each fixture
+// package is analyzed by the named checks under a config that maps the
+// repo-specific roles onto the fixture.
+var fixtureCases = []struct {
+	dir    string
+	checks string
+	cfg    func(Config) Config
+}{
+	{
+		dir:    "lockorder",
+		checks: "lock-discipline",
+		cfg: func(c Config) Config {
+			c.CorePkg = fixturePrefix + "lockorder"
+			return c
+		},
+	},
+	{
+		dir:    "bagmut",
+		checks: "bag-mutation",
+		cfg:    func(c Config) Config { return c },
+	},
+	{
+		dir:    "maporder",
+		checks: "nondeterministic-iteration",
+		cfg: func(c Config) Config {
+			c.OrderedPkgs = append(c.OrderedPkgs, fixturePrefix+"maporder")
+			return c
+		},
+	},
+	{
+		dir:    "droperr",
+		checks: "dropped-error",
+		cfg:    func(c Config) Config { return c },
+	},
+	{
+		dir:    "invtouch",
+		checks: "invariant-touch",
+		cfg: func(c Config) Config {
+			c.CorePkg = fixturePrefix + "invtouch"
+			c.Blessed = []string{"Execute", "RefreshView"}
+			return c
+		},
+	},
+}
+
+func TestFixtures(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range fixtureCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg, err := loader.Load(fixturePrefix + tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			analyzers, err := Select(tc.checks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings := RunAnalyzers([]*Package{pkg}, analyzers, tc.cfg(DefaultConfig()))
+			if len(findings) == 0 {
+				t.Fatalf("fixture %s produced no findings; the analyzer is not firing", tc.dir)
+			}
+			var sb strings.Builder
+			for _, f := range findings {
+				fmt.Fprintf(&sb, "%s:%d: [%s] %s\n", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Check, f.Message)
+			}
+			got := sb.String()
+
+			goldenPath := filepath.Join("testdata", "src", tc.dir, "expect.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -run TestFixtures -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch for %s:\n--- got ---\n%s--- want ---\n%s", tc.dir, got, want)
+			}
+		})
+	}
+}
+
+// TestModuleIsLintClean runs the full analyzer suite over the whole
+// module — the same gate `go run ./cmd/dvmlint ./...` applies — so a
+// regression in lint discipline fails `go test ./...` too.
+func TestModuleIsLintClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunAnalyzers(pkgs, All(), DefaultConfig())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestSelect covers the check-selection surface the CLI exposes.
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want all %d", len(all), err, len(All()))
+	}
+	two, err := Select("dropped-error, lock-discipline")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Select two = %v (len %d); want 2", err, len(two))
+	}
+	if _, err := Select("no-such-check"); err == nil {
+		t.Fatal("Select(no-such-check) should fail")
+	}
+}

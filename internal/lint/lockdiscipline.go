@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// analyzerLockDiscipline enforces the deadlock-freedom discipline of
+// txn.LockManager (the invariant behind "view downtime" measurement,
+// paper Section 1.1/Figure 3 refresh transactions):
+//
+//  1. Multi-table WithWrite/WithRead call sites whose table list is a
+//     literal of string constants must list the tables in sorted order
+//     with no duplicates. The manager sorts at runtime, but a
+//     mis-ordered literal is how a future "optimized" direct-locking
+//     path inherits a deadlock, so the source convention is enforced.
+//  2. Functions in the core package whose name ends in "Locked"
+//     declare "caller must hold the relevant table locks". They may
+//     only be called from inside a function literal passed to
+//     WithWrite/WithRead, or from another *Locked function.
+var analyzerLockDiscipline = &Analyzer{
+	Name: "lock-discipline",
+	Doc:  "LockManager tables sorted at literal call sites; *Locked helpers called only under locks",
+	Run:  runLockDiscipline,
+}
+
+func isLockAcquire(f *types.Func, txnPkg string) bool {
+	if f == nil || (f.Name() != "WithWrite" && f.Name() != "WithRead") {
+		return false
+	}
+	return isMethodOn(f, txnPkg, "LockManager")
+}
+
+func runLockDiscipline(p *Pass) {
+	info := p.Pkg.Info
+
+	// lockedLits: function literals passed to WithWrite/WithRead.
+	lockedLits := map[*ast.FuncLit]bool{}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isLockAcquire(CalleeOf(info, call), p.Cfg.TxnPkg) {
+				return true
+			}
+			p.checkSortedTables(call)
+			for _, arg := range call.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					lockedLits[fl] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Calls to core *Locked helpers must occur in a locked context.
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			callerLocked := strings.HasSuffix(fd.Name.Name, "Locked")
+			var walk func(n ast.Node, locked bool)
+			walk = func(n ast.Node, locked bool) {
+				ast.Inspect(n, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.FuncLit:
+						if m != n { // recurse with updated context
+							walk(m.Body, locked || lockedLits[m])
+							return false
+						}
+					case *ast.CallExpr:
+						f := CalleeOf(info, m)
+						if f != nil && strings.HasSuffix(f.Name(), "Locked") &&
+							f.Pkg() != nil && f.Pkg().Path() == p.Cfg.CorePkg && !locked {
+							p.Reportf(m.Pos(),
+								"%s requires the table locks (name ends in Locked) but is called outside WithWrite/WithRead",
+								f.Name())
+						}
+					}
+					return true
+				})
+			}
+			walk(fd.Body, callerLocked)
+		}
+	}
+}
+
+// checkSortedTables validates a []string{...} literal first argument.
+func (p *Pass) checkSortedTables(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	vals := make([]string, 0, len(lit.Elts))
+	for _, elt := range lit.Elts {
+		tv, ok := p.Pkg.Info.Types[elt]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return // any dynamic element: runtime sorting is authoritative
+		}
+		vals = append(vals, constant.StringVal(tv.Value))
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] == vals[i-1] {
+			p.Reportf(lit.Elts[i].Pos(), "duplicate table %q in lock set", vals[i])
+			return
+		}
+		if vals[i] < vals[i-1] {
+			p.Reportf(lit.Elts[i].Pos(),
+				"lock set not in sorted order: %q after %q (sorted acquisition is the deadlock-freedom invariant)",
+				vals[i], vals[i-1])
+			return
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzerMapIteration flags nondeterministic iteration feeding ordered
+// output in packages where ordering is observable: report rendering,
+// SQL result sets, binary snapshots, and delta computation. Go map
+// iteration order is deliberately randomized, so a map range (or a
+// bag.Each callback — bags are maps of tuples) whose body appends to a
+// slice or writes to a stream produces output that differs run to run,
+// which breaks golden tests, snapshot diffing, and replay-based
+// experiments (EXPERIMENTS.md). A loop is exempt if the enclosing
+// function sorts after the loop (the collect-then-sort idiom).
+var analyzerMapIteration = &Analyzer{
+	Name: "nondeterministic-iteration",
+	Doc:  "map/bag.Each iteration must not feed ordered output without a sort",
+	Run:  runMapIteration,
+}
+
+func runMapIteration(p *Pass) {
+	scoped := false
+	for _, pkg := range p.Cfg.OrderedPkgs {
+		if p.Pkg.Path == pkg {
+			scoped = true
+		}
+	}
+	if !scoped {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sortPositions := collectSortCalls(info, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					t := p.TypeOf(n.X)
+					if t == nil {
+						return true
+					}
+					if _, isMap := t.Underlying().(*types.Map); !isMap {
+						return true
+					}
+					p.checkUnorderedBody(n.Body, n.Pos(), n.End(), sortPositions,
+						"map iteration order is nondeterministic")
+				case *ast.CallExpr:
+					// b.Each(func(t, n) {...}) — bag iteration order is
+					// unspecified (bags are maps of tuples).
+					f := CalleeOf(info, n)
+					if f != nil && f.Name() == "Each" && isMethodOn(f, p.Cfg.BagPkg, "Bag") && len(n.Args) == 1 {
+						if fl, ok := n.Args[0].(*ast.FuncLit); ok {
+							p.checkUnorderedBody(fl.Body, n.Pos(), n.End(), sortPositions,
+								"bag.Each iteration order is nondeterministic (use EachOrdered)")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectSortCalls records the positions of calls into package sort (or
+// slices.Sort*) within body.
+func collectSortCalls(info *types.Info, body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := CalleeOf(info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if f.Pkg().Path() == "sort" || (f.Pkg().Path() == "slices" && strings.HasPrefix(f.Name(), "Sort")) {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// checkUnorderedBody reports if body contains an ordered sink: an
+// append, or a call whose name says it writes/prints to a stream. The
+// append sink is forgiven when the function sorts after the loop.
+func (p *Pass) checkUnorderedBody(body *ast.BlockStmt, loopPos, loopEnd token.Pos, sortPositions []token.Pos, what string) {
+	info := p.Pkg.Info
+	var sink ast.Node
+	var sinkKind string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fn.Name == "append" {
+				if _, isBuiltin := info.Uses[fn].(*types.Builtin); isBuiltin {
+					sink, sinkKind = call, "append"
+					return false
+				}
+			}
+			if isWriterName(fn.Name) {
+				sink, sinkKind = call, "write"
+				return false
+			}
+		case *ast.SelectorExpr:
+			if isWriterName(fn.Sel.Name) {
+				sink, sinkKind = call, "write"
+				return false
+			}
+		}
+		return true
+	})
+	if sink == nil {
+		return
+	}
+	if sinkKind == "append" {
+		for _, sp := range sortPositions {
+			if sp > loopEnd {
+				return // collect-then-sort idiom
+			}
+		}
+	}
+	p.Reportf(loopPos, "%s but the loop feeds ordered output (%s); iterate a sorted copy or sort the result",
+		what, sinkKind)
+}
+
+// isWriterName matches function/method names that emit to an
+// order-sensitive stream: Write*, Print*, Fprint*, write*, print*.
+func isWriterName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.HasPrefix(l, "write") || strings.HasPrefix(l, "print") || strings.HasPrefix(l, "fprint")
+}

@@ -1,0 +1,77 @@
+// Package maporder is a dvmlint fixture for the
+// nondeterministic-iteration analyzer. The test adds this package to
+// the ordered-output scope.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dvm/internal/bag"
+	"dvm/internal/schema"
+)
+
+// Render streams map entries in iteration order.
+func Render(m map[string]int) string {
+	var sb strings.Builder
+	for k, v := range m { // want: map feeds ordered output
+		fmt.Fprintf(&sb, "%s=%d\n", k, v)
+	}
+	return sb.String()
+}
+
+// Keys collects then sorts: the canonical safe idiom.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Unsorted returns map keys in iteration order.
+func Unsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want: append without a sort
+		out = append(out, k)
+	}
+	return out
+}
+
+// Total folds commutatively; no ordered sink, no finding.
+func Total(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// SliceLoop iterates a slice; order is deterministic.
+func SliceLoop(xs []string) string {
+	var sb strings.Builder
+	for _, x := range xs {
+		sb.WriteString(x)
+	}
+	return sb.String()
+}
+
+// Dump streams bag contents in unspecified Each order.
+func Dump(b *bag.Bag) string {
+	var sb strings.Builder
+	b.Each(func(t schema.Tuple, n int) { // want: bag.Each feeds ordered output
+		sb.WriteString(t.String())
+	})
+	return sb.String()
+}
+
+// DumpOrdered uses the deterministic iterator.
+func DumpOrdered(b *bag.Bag) string {
+	var sb strings.Builder
+	b.EachOrdered(func(t schema.Tuple, n int) {
+		sb.WriteString(t.String())
+	})
+	return sb.String()
+}

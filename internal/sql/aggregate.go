@@ -182,7 +182,10 @@ func (e *Engine) execAggregate(s *SimpleSelect, st *SelectStmt) (*Result, error)
 	}
 	groups := map[string]*acc{}
 	order := []string{}
-	rows.Each(func(t schema.Tuple, n int) {
+	// Ordered iteration makes float SUM/AVG accumulation deterministic:
+	// under Each, the addition order (and so the rounding) of a group's
+	// float sums would vary run to run with map iteration order.
+	rows.EachOrdered(func(t schema.Tuple, n int) {
 		k := t.Project(groupPos).Key()
 		a, ok := groups[k]
 		if !ok {

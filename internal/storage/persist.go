@@ -66,8 +66,10 @@ func (db *Database) Save(w io.Writer) error {
 		if err := writeU32(bw, uint32(t.data.Distinct())); err != nil {
 			return err
 		}
+		// Ordered iteration keeps snapshot bytes deterministic: the same
+		// database always serializes identically (diffable, hashable).
 		var werr error
-		t.data.Each(func(tu schema.Tuple, n int) {
+		t.data.EachOrdered(func(tu schema.Tuple, n int) {
 			if werr != nil {
 				return
 			}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# check.sh — the expanded tier-1 gate (see ROADMAP.md).
+#
+# Runs the full static + dynamic battery: build, vet, the repo's own
+# dvmlint analyzers, the unit/property suite under the race detector,
+# and a bounded run of each fuzz target. Everything here must pass
+# before a change lands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== dvmlint"
+go run ./cmd/dvmlint ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== fuzz (bounded)"
+go test ./internal/algebra -run '^$' -fuzz '^FuzzExprParseEval$' -fuzztime=10s
+go test ./internal/bag -run '^$' -fuzz '^FuzzBagOps$' -fuzztime=10s
+
+echo "check.sh: all gates passed"
