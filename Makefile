@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check fuzz
+.PHONY: build test lint doccheck check fuzz
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,12 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dvmlint ./...
 
-# The expanded tier-1 gate: build + vet + dvmlint + race tests + bounded
-# fuzzing. Same battery as scripts/check.sh.
+# Resolve every file:line anchor and relative link in the docs.
+doccheck:
+	$(GO) run ./cmd/doccheck
+
+# The expanded tier-1 gate: build + vet + dvmlint + doccheck + race
+# tests + bounded fuzzing. Same battery as scripts/check.sh.
 check:
 	./scripts/check.sh
 

@@ -7,9 +7,11 @@
 //	dvmbench            # run all experiments
 //	dvmbench -exp e4    # run one experiment
 //	dvmbench -list      # list experiment ids
+//	dvmbench -json      # emit the reports (tables + obs phase timings) as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ import (
 func main() {
 	exp := flag.String("exp", "", "run a single experiment (e1..e9); empty runs all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	asJSON := flag.Bool("json", false, "emit reports as JSON (for BENCH_*.json baselines)")
 	flag.Parse()
 
 	exps := bench.All()
@@ -32,7 +35,7 @@ func main() {
 		return
 	}
 
-	ran := 0
+	var reports []*bench.Report
 	for _, e := range exps {
 		if *exp != "" && !strings.EqualFold(*exp, e.ID) {
 			continue
@@ -43,12 +46,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Println(rep)
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		ran++
+		if *asJSON {
+			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Println(rep)
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+		reports = append(reports, rep)
 	}
-	if ran == 0 {
+	if len(reports) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment named %q; try -list\n", *exp)
 		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -6,6 +6,11 @@
 //	CREATE MATERIALIZED VIEW v REFRESH IMMEDIATE AS SELECT ...
 //	REFRESH v; PROPAGATE v; PARTIAL REFRESH v; RECOMPUTE v; CHECK INVARIANT v;
 //
+// Shell meta-commands start with a backslash on their own line:
+//
+//	\stats [prefix]   print the engine's metrics (docs/observability.md),
+//	                  optionally only families starting with prefix
+//
 // A file of statements can be piped on stdin, or passed with -f.
 package main
 
@@ -16,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"dvm/internal/obs"
 	"dvm/internal/sql"
 )
 
@@ -62,14 +68,16 @@ func main() {
 	}
 
 	if *file != "" {
-		data, err := os.ReadFile(*file)
+		f, err := os.Open(*file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		results, err := engine.ExecScript(string(data))
-		for _, r := range results {
-			fmt.Println(r)
+		in := bufio.NewScanner(f)
+		in.Buffer(make([]byte, 1<<20), 1<<20)
+		err = runLines(engine, in, false, true)
+		if cerr := f.Close(); err == nil {
+			err = cerr
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -84,10 +92,26 @@ func main() {
 	if interactive {
 		fmt.Println("dvm shell — deferred view maintenance (SIGMOD '96). End statements with ';'.")
 	}
+	if err := runLines(engine, in, interactive, false); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+	}
+	saveAndExit(0)
+}
+
+// runLines drives the statement loop: lines accumulate until a ';',
+// backslash meta-commands execute immediately. With stopOnErr the first
+// statement error aborts (batch -f mode); otherwise errors are printed
+// and the loop continues (interactive mode).
+func runLines(engine *sql.Engine, in *bufio.Scanner, interactive, stopOnErr bool) error {
 	var buf strings.Builder
-	prompt(interactive, buf.Len() > 0)
+	prompt(interactive, false)
 	for in.Scan() {
 		line := in.Text()
+		if buf.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), "\\") {
+			metaCommand(engine, strings.TrimSpace(line))
+			prompt(interactive, false)
+			continue
+		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		text := strings.TrimSpace(buf.String())
@@ -96,7 +120,7 @@ func main() {
 			continue
 		}
 		if text == "quit" || text == "exit" {
-			saveAndExit(0)
+			return nil
 		}
 		if !strings.HasSuffix(text, ";") {
 			prompt(interactive, true)
@@ -108,11 +132,35 @@ func main() {
 			fmt.Println(r)
 		}
 		if err != nil {
+			if stopOnErr {
+				return err
+			}
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 		prompt(interactive, false)
 	}
-	saveAndExit(0)
+	return nil
+}
+
+// metaCommand handles backslash commands (currently \stats [prefix]).
+func metaCommand(engine *sql.Engine, cmd string) {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\stats":
+		snap := engine.Manager().Obs().Snapshot()
+		if len(fields) > 1 {
+			var kept []obs.Metric
+			for _, m := range snap.Metrics {
+				if strings.HasPrefix(m.Name, fields[1]) {
+					kept = append(kept, m)
+				}
+			}
+			snap.Metrics = kept
+		}
+		fmt.Print(snap.String())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s (try \\stats)\n", fields[0])
+	}
 }
 
 func prompt(interactive, continuation bool) {

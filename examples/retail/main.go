@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dvm/internal/core"
+	"dvm/internal/obs"
 	"dvm/internal/storage"
 	"dvm/internal/workload"
 )
@@ -67,18 +68,22 @@ func main() {
 			check(runner.Tick())
 		}
 
-		view, _ := mgr.View("highValue")
-		lock := mgr.Locks().Stats(view.MVTable())
-		vs := view.Stats
+		// All numbers come from the engine's own obs histograms — the
+		// same ones dvmsh \stats and cmd/dvmstatsd expose (see
+		// docs/observability.md).
+		snap := mgr.Obs().Snapshot()
+		down := histOf(snap, "view_downtime_ns", "highValue")
+		mk := histOf(snap, "makesafe_ns", "highValue")
+		prop := histOf(snap, "propagate_ns", "highValue")
 		perTxn := int64(0)
-		if vs.MakeSafeOps > 0 {
-			perTxn = (vs.MakeSafeTime / time.Duration(vs.MakeSafeOps)).Microseconds()
+		if mk.Count > 0 {
+			perTxn = time.Duration(mk.Sum / mk.Count).Microseconds()
 		}
 		results = append(results, variantResult{
 			name:        v.name,
-			downtimeUS:  lock.MaxWriteHold.Microseconds(),
+			downtimeUS:  time.Duration(down.Max).Microseconds(),
 			perTxnUS:    perTxn,
-			propagateUS: vs.PropagateTime.Microseconds(),
+			propagateUS: time.Duration(prop.Sum).Microseconds(),
 		})
 
 		// End-of-day audit: after a final full refresh the view is exact.
@@ -99,4 +104,12 @@ func check(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+func histOf(snap obs.Snapshot, family, label string) obs.Metric {
+	m, ok := snap.Get(family, label)
+	if !ok {
+		log.Fatalf("metric %s{%s} not in snapshot", family, label)
+	}
+	return m
 }

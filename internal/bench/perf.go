@@ -63,7 +63,7 @@ func E3Overhead() (*Report, error) {
 
 	rep := &Report{
 		ID:     "E3",
-		Title:  "Per-transaction overhead (µs/txn) vs number of views",
+		Title:  "Per-transaction overhead (µs/txn, mean of txn_exec_ns) vs number of views",
 		Notes:  "expect IM/DT to grow with views; BL/C near-flat (makesafe only appends to logs)",
 		Header: append([]string{"scenario"}, colsFor(viewCounts)...),
 	}
@@ -74,14 +74,23 @@ func E3Overhead() (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			start := time.Now()
 			for i := 0; i < txns; i++ {
 				if err := m.Execute(w.SalesBatch(1)); err != nil {
 					return nil, err
 				}
 			}
-			per := time.Since(start) / txns
+			// Per-txn cost straight from the engine's own instrumentation:
+			// the txn_exec_ns histogram every Execute records into.
+			exec, _ := m.Obs().Snapshot().Get("txn_exec_ns", "")
+			per := time.Duration(0)
+			if exec.Count > 0 {
+				per = time.Duration(exec.Sum / exec.Count)
+			}
 			row = append(row, fmt.Sprint(per.Microseconds()))
+			if sc == Combined && n == viewCounts[len(viewCounts)-1] {
+				rep.Phases = append(rep.Phases, PhasesFrom(m.Obs(),
+					fmt.Sprintf("C/%d views:", n), "txn_exec_ns", "makesafe_ns")...)
+			}
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -131,10 +140,10 @@ func E4Downtime() (*Report, error) {
 	rep := &Report{
 		ID:     "E4",
 		Title:  fmt.Sprintf("View downtime (µs) over m=%d ticks, %d inserts + %d deletes per tick", m, perTick, deletes),
-		Notes:  "expect downtime(BL) > downtime(C Policy 1) > downtime(C Policy 2)",
+		Notes:  "expect downtime(BL) > downtime(C Policy 1) > downtime(C Policy 2); numbers from the view_downtime_ns / propagate_ns / makesafe_ns histograms",
 		Header: []string{"variant", "refresh downtime µs", "total propagate µs", "per-txn makesafe µs"},
 	}
-	for _, v := range variants {
+	for vi, v := range variants {
 		mgr, w, err := setupViews(1, v.sc, 7)
 		if err != nil {
 			return nil, err
@@ -151,19 +160,25 @@ func E4Downtime() (*Report, error) {
 				return nil, err
 			}
 		}
-		view, _ := mgr.View("v0")
-		stats := mgr.Locks().Stats(view.MVTable())
-		vs := view.Stats
-		perTxn := time.Duration(0)
-		if vs.MakeSafeOps > 0 {
-			perTxn = vs.MakeSafeTime / time.Duration(vs.MakeSafeOps)
+		// All three quantities come from the obs histograms the engine
+		// records into (downtime = exclusive MV-lock hold of refresh).
+		snap := mgr.Obs().Snapshot()
+		down, _ := snap.Get("view_downtime_ns", "v0")
+		prop, _ := snap.Get("propagate_ns", "v0")
+		mk, _ := snap.Get("makesafe_ns", "v0")
+		perTxn := int64(0)
+		if mk.Count > 0 {
+			perTxn = mk.Sum / mk.Count
 		}
 		rep.Rows = append(rep.Rows, []string{
 			v.name,
-			fmt.Sprint(stats.MaxWriteHold.Microseconds()),
-			fmt.Sprint(vs.PropagateTime.Microseconds()),
-			fmt.Sprint(perTxn.Microseconds()),
+			fmt.Sprint(time.Duration(down.Max).Microseconds()),
+			fmt.Sprint(time.Duration(prop.Sum).Microseconds()),
+			fmt.Sprint(time.Duration(perTxn).Microseconds()),
 		})
+		rep.Phases = append(rep.Phases, PhasesFrom(mgr.Obs(),
+			fmt.Sprintf("v%d %s:", vi+1, v.sc),
+			"makesafe_ns", "propagate_ns", "refresh_ns", "partial_refresh_ns", "view_downtime_ns")...)
 	}
 	return rep, nil
 }
@@ -197,12 +212,14 @@ func E5PropagationSweep() (*Report, error) {
 			}
 		}
 		view, _ := mgr.View("v0")
-		stats := mgr.Locks().Stats(view.MVTable())
+		snap := mgr.Obs().Snapshot()
+		down, _ := snap.Get("view_downtime_ns", "v0")
+		prop, _ := snap.Get("propagate_ns", "v0")
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprint(k),
-			fmt.Sprint(stats.MaxWriteHold.Microseconds()),
+			fmt.Sprint(time.Duration(down.Max).Microseconds()),
 			fmt.Sprint(view.Stats.Propagates),
-			fmt.Sprint(view.Stats.PropagateTime.Microseconds()),
+			fmt.Sprint(time.Duration(prop.Sum).Microseconds()),
 		})
 	}
 	return rep, nil

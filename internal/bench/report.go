@@ -10,6 +10,9 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"time"
+
+	"dvm/internal/obs"
 )
 
 // Report is one experiment's output table.
@@ -19,6 +22,54 @@ type Report struct {
 	Notes  string   // expected shape, caveats
 	Header []string // column names
 	Rows   [][]string
+	// Phases carries per-phase timing distributions pulled from the obs
+	// histograms of the experiment's manager(s) — makesafe, propagate,
+	// refresh, downtime — rendered after the table.
+	Phases []PhaseStat `json:",omitempty"`
+}
+
+// PhaseStat is one maintenance phase's timing distribution, extracted
+// from an obs histogram (durations in nanoseconds when JSON-encoded).
+type PhaseStat struct {
+	Name  string
+	Count int64
+	Sum   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+}
+
+// PhasesFrom extracts the named histogram families from a registry as
+// PhaseStats, skipping empty histograms. A non-empty prefix labels each
+// entry (useful when one report spans several managers).
+func PhasesFrom(r *obs.Registry, prefix string, families ...string) []PhaseStat {
+	snap := r.Snapshot()
+	var out []PhaseStat
+	for _, fam := range families {
+		for _, m := range snap.Family(fam) {
+			if m.Kind != "histogram" || m.Count == 0 {
+				continue
+			}
+			name := m.Name
+			if m.Label != "" {
+				name = fmt.Sprintf("%s{%s}", m.Name, m.Label)
+			}
+			if prefix != "" {
+				name = prefix + " " + name
+			}
+			out = append(out, PhaseStat{
+				Name:  name,
+				Count: m.Count,
+				Sum:   time.Duration(m.Sum),
+				Max:   time.Duration(m.Max),
+				P50:   time.Duration(m.P50),
+				P90:   time.Duration(m.P90),
+				P99:   time.Duration(m.P99),
+			})
+		}
+	}
+	return out
 }
 
 // String renders the report as an aligned text table.
@@ -55,6 +106,20 @@ func (r *Report) String() string {
 	sb.WriteByte('\n')
 	for _, row := range r.Rows {
 		line(row)
+	}
+	if len(r.Phases) > 0 {
+		sb.WriteString("phase timings (obs spans):\n")
+		nameW := len("phase")
+		for _, p := range r.Phases {
+			if len(p.Name) > nameW {
+				nameW = len(p.Name)
+			}
+		}
+		rd := func(d time.Duration) string { return d.Round(time.Microsecond).String() }
+		for _, p := range r.Phases {
+			fmt.Fprintf(&sb, "  %-*s  n=%-4d  p50=%-8s  p90=%-8s  p99=%-8s  max=%-8s  total=%s\n",
+				nameW, p.Name, p.Count, rd(p.P50), rd(p.P90), rd(p.P99), rd(p.Max), rd(p.Sum))
+		}
 	}
 	if r.Notes != "" {
 		fmt.Fprintf(&sb, "note: %s\n", r.Notes)

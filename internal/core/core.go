@@ -21,6 +21,7 @@ import (
 
 	"dvm/internal/algebra"
 	"dvm/internal/delta"
+	"dvm/internal/obs"
 	"dvm/internal/schema"
 	"dvm/internal/storage"
 	"dvm/internal/txn"
@@ -87,6 +88,9 @@ type View struct {
 
 	// Precompiled makesafe assignments (Figure 3), reused every Execute.
 	safeAssigns []txn.Assignment
+
+	// met caches this view's obs instruments (see metrics.go).
+	met *viewMetrics
 
 	Stats ViewStats
 }
@@ -164,17 +168,27 @@ type Manager struct {
 	// shared, when non-nil, replaces per-view log upkeep with shared
 	// per-table logs (see WithSharedLogs).
 	shared *sharedState
+
+	// obs is the manager's metrics registry; every maintenance entry
+	// point records into it (see metrics.go and docs/observability.md).
+	obs       *obs.Registry
+	txnExecNs *obs.Histogram
 }
 
 // NewManager wraps a database.
 func NewManager(db *storage.Database, opts ...ManagerOption) *Manager {
+	reg := obs.NewRegistry()
 	m := &Manager{
 		db:         db,
 		locks:      txn.NewLockManager(),
 		views:      make(map[string]*View),
 		scratchDel: make(map[string]string),
 		scratchIns: make(map[string]string),
+		obs:        reg,
+		txnExecNs:  reg.Histogram("txn_exec_ns", ""),
 	}
+	m.locks.SetRegistry(reg)
+	db.SetMetrics(reg)
 	for _, o := range opts {
 		o(m)
 	}
@@ -192,6 +206,12 @@ func (m *Manager) DB() *storage.Database { return m.db }
 
 // Locks exposes the lock manager (for downtime statistics).
 func (m *Manager) Locks() *txn.LockManager { return m.locks }
+
+// Obs exposes the manager's metrics registry: counters, gauges, and
+// histograms for every maintenance operation, documented in
+// docs/observability.md. Snapshot it for reporting, or serve it over
+// HTTP with obs.Handler.
+func (m *Manager) Obs() *obs.Registry { return m.obs }
 
 // View returns a registered view.
 func (m *Manager) View(name string) (*View, error) {
@@ -348,6 +368,7 @@ func (m *Manager) DefineView(name string, def algebra.Expr, sc Scenario, opts ..
 		return cleanup(err)
 	}
 
+	v.met = newViewMetrics(m.obs, name)
 	m.views[name] = v
 	m.order = append(m.order, name)
 	return v, nil

@@ -129,7 +129,16 @@ func (m *Manager) Execute(t txn.Txn) error {
 		return nil
 	}
 	if len(lockMVs) > 0 {
+		// The locked install is the Immediate views' downtime: readers of
+		// those MVs block for exactly this long, every transaction.
+		lockStart := time.Now()
 		err = m.locks.WithWrite(lockMVs, apply)
+		held := int64(time.Since(lockStart))
+		for _, v := range affected {
+			if v.Scenario == Immediate && v.met != nil {
+				v.met.downtimeNs.Observe(held)
+			}
+		}
 	} else {
 		err = apply()
 	}
@@ -141,6 +150,7 @@ func (m *Manager) Execute(t txn.Txn) error {
 	// affected views; exact per-view separation is not observable since
 	// the bundle applies as one transaction.
 	elapsed := time.Since(start)
+	m.txnExecNs.Observe(int64(elapsed))
 	share := elapsed
 	if len(affected) > 1 {
 		share = elapsed / time.Duration(len(affected))
@@ -148,11 +158,18 @@ func (m *Manager) Execute(t txn.Txn) error {
 	for _, v := range affected {
 		v.Stats.MakeSafeOps++
 		v.Stats.MakeSafeTime += share
+		if v.met != nil {
+			v.met.makesafeNs.Observe(int64(share))
+		}
 		switch v.Scenario {
 		case BaseLogs, Combined:
 			for _, b := range v.bases {
 				if u, ok := nt[b]; ok {
-					v.Stats.LogTuples += u.Delete.Len() + u.Insert.Len()
+					n := u.Delete.Len() + u.Insert.Len()
+					v.Stats.LogTuples += n
+					if v.met != nil {
+						v.met.logAppendTuples.Add(int64(n))
+					}
 				}
 			}
 		case DiffTables:
@@ -160,6 +177,7 @@ func (m *Manager) Execute(t txn.Txn) error {
 			at, _ := m.db.Bag(v.dtAdd)
 			v.Stats.DiffTuples = dt.Len() + at.Len()
 		}
+		m.updateSizeGauges(v)
 	}
 	return nil
 }

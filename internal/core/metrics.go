@@ -1,0 +1,85 @@
+package core
+
+import "dvm/internal/obs"
+
+// viewMetrics caches one view's obs instruments so hot paths never take
+// the registry lock. Families and their paper quantities are documented
+// in docs/observability.md (a test enforces the docs stay complete).
+type viewMetrics struct {
+	makesafeNs      *obs.Histogram // per-transaction overhead of makesafe_*
+	logAppendTuples *obs.Counter   // raw tuples appended to logs
+	logSizeTuples   *obs.Gauge     // current log size (▼R ⊎ ▲R over bases)
+	diffSizeTuples  *obs.Gauge     // current differential size (∇MV ⊎ △MV)
+	propagateNs     *obs.Histogram // propagate_C wall time
+	propagateTuples *obs.Counter   // log tuples folded by propagate_C
+	refreshNs       *obs.Histogram // refresh_* wall time
+	refreshTuples   *obs.Counter   // tuples consumed by refresh_*
+	partialNs       *obs.Histogram // partial_refresh_C wall time
+	recomputeNs     *obs.Histogram // full recompute wall time
+	downtimeNs      *obs.Histogram // exclusive MV-lock hold (view downtime)
+}
+
+func newViewMetrics(r *obs.Registry, view string) *viewMetrics {
+	return &viewMetrics{
+		makesafeNs:      r.Histogram("makesafe_ns", view),
+		logAppendTuples: r.Counter("log_append_tuples", view),
+		logSizeTuples:   r.Gauge("log_size_tuples", view),
+		diffSizeTuples:  r.Gauge("diff_size_tuples", view),
+		propagateNs:     r.Histogram("propagate_ns", view),
+		propagateTuples: r.Counter("propagate_tuples", view),
+		refreshNs:       r.Histogram("refresh_ns", view),
+		refreshTuples:   r.Counter("refresh_tuples", view),
+		partialNs:       r.Histogram("partial_refresh_ns", view),
+		recomputeNs:     r.Histogram("recompute_ns", view),
+		downtimeNs:      r.Histogram("view_downtime_ns", view),
+	}
+}
+
+// logVolume returns the tuple volume of the view's private log tables.
+// In shared-log mode these hold the materialized window during a
+// propagate/refresh and are empty otherwise (the pending shared window
+// is counted separately by updateSizeGauges, never both at once).
+func (m *Manager) logVolume(v *View) int {
+	n := 0
+	for _, b := range v.bases {
+		if t, err := m.db.Bag(v.logDel[b]); err == nil {
+			n += t.Len()
+		}
+		if t, err := m.db.Bag(v.logIns[b]); err == nil {
+			n += t.Len()
+		}
+	}
+	return n
+}
+
+// diffVolume returns the tuple volume of the view's differential tables
+// (∇MV ⊎ △MV).
+func (m *Manager) diffVolume(v *View) int {
+	n := 0
+	if t, err := m.db.Bag(v.dtDel); err == nil {
+		n += t.Len()
+	}
+	if t, err := m.db.Bag(v.dtAdd); err == nil {
+		n += t.Len()
+	}
+	return n
+}
+
+// updateSizeGauges refreshes the view's log/differential size gauges
+// from the live tables. Called after every operation that grows or
+// empties them, so \stats always reflects current staleness debt.
+func (m *Manager) updateSizeGauges(v *View) {
+	if v.met == nil {
+		return
+	}
+	if len(v.logDel) > 0 {
+		n := m.logVolume(v)
+		if m.shared != nil {
+			n += m.pendingShared(v)
+		}
+		v.met.logSizeTuples.Set(int64(n))
+	}
+	if v.dtDel != "" {
+		v.met.diffSizeTuples.Set(int64(m.diffVolume(v)))
+	}
+}

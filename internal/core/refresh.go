@@ -6,6 +6,7 @@ import (
 
 	"dvm/internal/algebra"
 	"dvm/internal/bag"
+	"dvm/internal/obs"
 	"dvm/internal/txn"
 )
 
@@ -25,9 +26,12 @@ func (m *Manager) Refresh(name string) error {
 		return err
 	}
 	start := time.Now()
+	sp := obs.StartSpan(v.met.refreshNs)
 	defer func() {
 		v.Stats.Refreshes++
 		v.Stats.RefreshTime += time.Since(start)
+		sp.End()
+		m.updateSizeGauges(v)
 	}()
 
 	switch v.Scenario {
@@ -35,6 +39,7 @@ func (m *Manager) Refresh(name string) error {
 		return nil
 	case BaseLogs:
 		return m.locks.WithWrite([]string{v.mvName}, func() error {
+			defer obs.StartSpan(v.met.downtimeNs).End()
 			if err := m.materializeIfShared(v); err != nil {
 				return err
 			}
@@ -46,10 +51,12 @@ func (m *Manager) Refresh(name string) error {
 		})
 	case DiffTables:
 		return m.locks.WithWrite([]string{v.mvName}, func() error {
+			defer obs.StartSpan(v.met.downtimeNs).End()
 			return m.applyDiffTablesLocked(v)
 		})
 	case Combined:
 		return m.locks.WithWrite([]string{v.mvName}, func() error {
+			defer obs.StartSpan(v.met.downtimeNs).End()
 			if err := m.materializeIfShared(v); err != nil {
 				return err
 			}
@@ -68,6 +75,9 @@ func (m *Manager) Refresh(name string) error {
 // log. The Locked suffix is a contract dvmlint enforces: the caller
 // must hold the MV write lock.
 func (m *Manager) refreshFromLogLocked(v *View) error {
+	if v.met != nil {
+		v.met.refreshTuples.Add(int64(m.logVolume(v)))
+	}
 	upd, err := applyDelta(m.baseExpr(v.mvName), v.blDel, v.blAdd)
 	if err != nil {
 		return err
@@ -83,6 +93,9 @@ func (m *Manager) refreshFromLogLocked(v *View) error {
 // MV := (MV ∸ ∇MV) ⊎ △MV; ∇MV := ∅; △MV := ∅. The Locked suffix is a
 // contract dvmlint enforces: the caller must hold the MV write lock.
 func (m *Manager) applyDiffTablesLocked(v *View) error {
+	if v.met != nil {
+		v.met.refreshTuples.Add(int64(m.diffVolume(v)))
+	}
 	upd, err := applyDelta(m.baseExpr(v.mvName), m.baseExpr(v.dtDel), m.baseExpr(v.dtAdd))
 	if err != nil {
 		return err
@@ -110,9 +123,12 @@ func (m *Manager) Propagate(name string) error {
 		return fmt.Errorf("core: propagate is only defined for the Combined scenario (view %q is %v)", name, v.Scenario)
 	}
 	start := time.Now()
+	sp := obs.StartSpan(v.met.propagateNs)
 	defer func() {
 		v.Stats.Propagates++
 		v.Stats.PropagateTime += time.Since(start)
+		sp.End()
+		m.updateSizeGauges(v)
 	}()
 	if err := m.materializeIfShared(v); err != nil {
 		return err
@@ -150,6 +166,9 @@ func (m *Manager) consumeWindowIfShared(v *View) {
 // flagged the unlocked call from Propagate, and the fix was renaming:
 // the lock was never required.)
 func (m *Manager) foldLog(v *View) error {
+	if v.met != nil {
+		v.met.propagateTuples.Add(int64(m.logVolume(v)))
+	}
 	fold, err := m.foldAssigns(v, v.blDel, v.blAdd)
 	if err != nil {
 		return err
@@ -173,11 +192,15 @@ func (m *Manager) PartialRefresh(name string) error {
 		return fmt.Errorf("core: partial refresh needs differential tables (view %q is %v)", name, v.Scenario)
 	}
 	start := time.Now()
+	sp := obs.StartSpan(v.met.partialNs)
 	defer func() {
 		v.Stats.PartialCount++
 		v.Stats.PartialTime += time.Since(start)
+		sp.End()
+		m.updateSizeGauges(v)
 	}()
 	return m.locks.WithWrite([]string{v.mvName}, func() error {
+		defer obs.StartSpan(v.met.downtimeNs).End()
 		return m.applyDiffTablesLocked(v)
 	})
 }
@@ -191,11 +214,15 @@ func (m *Manager) RefreshRecompute(name string) error {
 		return err
 	}
 	start := time.Now()
+	sp := obs.StartSpan(v.met.recomputeNs)
 	defer func() {
 		v.Stats.Recomputes++
 		v.Stats.RecomputeTime += time.Since(start)
+		sp.End()
+		m.updateSizeGauges(v)
 	}()
 	return m.locks.WithWrite([]string{v.mvName}, func() error {
+		defer obs.StartSpan(v.met.downtimeNs).End()
 		fresh, err := algebra.Eval(v.Def, m.db)
 		if err != nil {
 			return err

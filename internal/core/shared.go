@@ -50,6 +50,23 @@ func (m *Manager) SharedLogVolume(table string) int {
 	return 0
 }
 
+// pendingShared returns the tuple volume of the view's unconsumed
+// shared-log window across its bases — the staleness debt the
+// log_size_tuples gauge reports in shared-log mode.
+func (m *Manager) pendingShared(v *View) int {
+	cur, ok := m.shared.cursors[v.Name]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, b := range v.bases {
+		if l, ok := m.shared.logs[b]; ok {
+			n += l.VolumeSince(cur[b])
+		}
+	}
+	return n
+}
+
 // registerSharedView hooks a newly defined BL/C view into the shared
 // logs: each base gets a log (created at first use) and the view's
 // cursor starts at the current head (the view is consistent as of now).

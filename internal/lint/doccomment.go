@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// analyzerDocComment enforces godoc discipline in the packages listed
+// in Config.DocPkgs: every exported top-level identifier — functions,
+// methods on exported types, type declarations, and const/var specs —
+// must carry a doc comment. The observability layer is
+// documentation-gated: an exported metric accessor without a doc
+// comment is an API surface users meet in docs/observability.md with
+// no explanation. A doc comment on a const/var/type block covers the
+// specs inside it (the idiomatic enum pattern).
+var analyzerDocComment = &Analyzer{
+	Name: "doc-comment",
+	Doc:  "exported identifiers in documented packages need doc comments",
+	Run:  runDocComment,
+}
+
+func runDocComment(p *Pass) {
+	if !docPkg(p.Cfg.DocPkgs, p.Pkg.Path) {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				if d.Recv != nil && !exportedRecv(d) {
+					continue // methods on unexported types are internal API
+				}
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				p.Reportf(d.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					continue // block doc covers every spec inside
+				}
+				switch d.Tok {
+				case token.TYPE:
+					for _, spec := range d.Specs {
+						ts := spec.(*ast.TypeSpec)
+						if ts.Name.IsExported() && ts.Doc == nil {
+							p.Reportf(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+						}
+					}
+				case token.CONST, token.VAR:
+					for _, spec := range d.Specs {
+						vs := spec.(*ast.ValueSpec)
+						if vs.Doc != nil || vs.Comment != nil {
+							continue // per-spec doc or trailing comment
+						}
+						for _, n := range vs.Names {
+							if n.IsExported() {
+								kind := "var"
+								if d.Tok == token.CONST {
+									kind = "const"
+								}
+								p.Reportf(n.Pos(), "exported %s %s has no doc comment", kind, n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func docPkg(pkgs []string, path string) bool {
+	for _, p := range pkgs {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// exportedRecv reports whether the method's receiver base type is
+// exported.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	if ie, ok := t.(*ast.IndexExpr); ok {
+		t = ie.X
+	}
+	if ie, ok := t.(*ast.IndexListExpr); ok {
+		t = ie.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}

@@ -40,6 +40,9 @@ type Config struct {
 	// refresh_*/propagate_*/makesafe_* transactions (Figure 3) plus
 	// view definition; only they may touch maintained tables.
 	Blessed []string
+	// DocPkgs are packages whose exported identifiers must all carry
+	// doc comments (the documentation-gated API surface).
+	DocPkgs []string
 }
 
 // DefaultConfig returns the production configuration for this module.
@@ -53,6 +56,7 @@ func DefaultConfig() Config {
 			"dvm/internal/algebra",
 			"dvm/internal/bench",
 			"dvm/internal/core",
+			"dvm/internal/obs",
 			"dvm/internal/sql",
 			"dvm/internal/storage",
 		},
@@ -65,6 +69,11 @@ func DefaultConfig() Config {
 			"foldLog", "materializeWindow",
 			// View (de)initialization.
 			"DefineView",
+		},
+		DocPkgs: []string{
+			"dvm/internal/core",
+			"dvm/internal/obs",
+			"dvm/internal/txn",
 		},
 	}
 }
@@ -157,6 +166,7 @@ func All() []*Analyzer {
 		analyzerMapIteration,
 		analyzerDroppedError,
 		analyzerInvariantTouch,
+		analyzerDocComment,
 	}
 }
 

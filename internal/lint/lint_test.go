@@ -56,6 +56,14 @@ var fixtureCases = []struct {
 			return c
 		},
 	},
+	{
+		dir:    "docmiss",
+		checks: "doc-comment",
+		cfg: func(c Config) Config {
+			c.DocPkgs = []string{fixturePrefix + "docmiss"}
+			return c
+		},
+	},
 }
 
 func TestFixtures(t *testing.T) {

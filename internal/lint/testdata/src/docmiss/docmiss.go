@@ -1,0 +1,44 @@
+// Package docmiss is the doc-comment analyzer fixture: a mix of
+// documented and undocumented exported identifiers.
+package docmiss
+
+// MaxRetries is documented; no finding.
+const MaxRetries = 3
+
+const DefaultTimeout = 30 // trailing comment counts as documentation
+
+const BareLimit = 100
+
+// Grouped constants: the block doc covers the members.
+const (
+	ModeFast = iota
+	ModeSlow
+)
+
+var Undocumented = 1
+
+// Documented has a doc comment; no finding.
+var Documented = 2
+
+type Widget struct{}
+
+// Gadget is documented.
+type Gadget struct{}
+
+func Exported() {}
+
+// ExportedDocumented is documented; no finding.
+func ExportedDocumented() {}
+
+func unexported() {}
+
+func (Widget) Spin() {}
+
+// Turn is documented; no finding.
+func (Gadget) Turn() {}
+
+type hidden struct{}
+
+func (hidden) Wobble() {}
+
+var _ = unexported

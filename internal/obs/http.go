@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns an expvar-style HTTP handler that serves a JSON
+// snapshot of the registry on every request, so long-running workloads
+// (cmd/dvmstatsd, or any embedder) can be scraped. With ?format=text
+// it serves the same aligned table the dvmsh \stats command prints.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if _, err := w.Write([]byte(snap.String())); err != nil {
+				return
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

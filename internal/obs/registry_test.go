@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryStablePointers(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a", "x") != r.Counter("a", "x") {
+		t.Error("Counter not stable per (name,label)")
+	}
+	if r.Counter("a", "x") == r.Counter("a", "y") {
+		t.Error("labels must be distinct instances")
+	}
+	if r.Histogram("h", "") != r.Histogram("h", "") {
+		t.Error("Histogram not stable per (name,label)")
+	}
+	if r.Gauge("g", "") != r.Gauge("g", "") {
+		t.Error("Gauge not stable per (name,label)")
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "").Add(3)
+	r.Counter("a_total", "v1").Add(1)
+	r.Counter("a_total", "v0").Add(2)
+	r.Gauge("m_size", "").Set(7)
+	r.Histogram("b_ns", "").Observe(1500)
+
+	s := r.Snapshot()
+	if len(s.Metrics) != 5 {
+		t.Fatalf("snapshot has %d metrics, want 5", len(s.Metrics))
+	}
+	for i := 1; i < len(s.Metrics); i++ {
+		a, b := s.Metrics[i-1], s.Metrics[i]
+		if a.Name > b.Name || (a.Name == b.Name && a.Label > b.Label) {
+			t.Errorf("snapshot not sorted: %s{%s} before %s{%s}", a.Name, a.Label, b.Name, b.Label)
+		}
+	}
+	if m, ok := s.Get("a_total", "v0"); !ok || m.Value != 2 {
+		t.Errorf("Get(a_total,v0) = %+v, %v", m, ok)
+	}
+	if m, ok := s.Get("m_size", ""); !ok || m.Value != 7 || m.Kind != "gauge" {
+		t.Errorf("Get(m_size) = %+v, %v", m, ok)
+	}
+	if fam := s.Families(); strings.Join(fam, ",") != "a_total,b_ns,m_size,z_total" {
+		t.Errorf("Families = %v", fam)
+	}
+	if got := len(s.Family("a_total")); got != 2 {
+		t.Errorf("Family(a_total) has %d entries, want 2", got)
+	}
+	if m, _ := s.Get("b_ns", ""); m.Count != 1 || m.Sum != 1500 || m.Max != 1500 {
+		t.Errorf("histogram metric = %+v", m)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("refresh_ns", "v0").Observe(int64(2_500_000)) // 2.5ms
+	r.Counter("propagate_tuples", "v0").Add(42)
+	out := r.Snapshot().String()
+	if !strings.Contains(out, "refresh_ns{v0}") {
+		t.Errorf("rendering lacks labeled histogram:\n%s", out)
+	}
+	if !strings.Contains(out, "2.5ms") {
+		t.Errorf("_ns families should render as durations:\n%s", out)
+	}
+	if !strings.Contains(out, "propagate_tuples{v0}") || !strings.Contains(out, "42") {
+		t.Errorf("rendering lacks counter:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("txn_total", "").Add(5)
+	r.Histogram("txn_exec_ns", "").Observe(1000)
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := res.Body.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := snap.Get("txn_total", ""); !ok || m.Value != 5 {
+		t.Errorf("scraped txn_total = %+v, %v", m, ok)
+	}
+	if m, ok := snap.Get("txn_exec_ns", ""); !ok || m.Count != 1 {
+		t.Errorf("scraped txn_exec_ns = %+v, %v", m, ok)
+	}
+
+	res2, err := srv.Client().Get(srv.URL + "/stats?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := res2.Body.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	buf := new(strings.Builder)
+	if _, err := json.NewDecoder(res2.Body).Token(); err == nil {
+		t.Error("text format should not be JSON")
+	}
+	_ = buf
+}

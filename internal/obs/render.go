@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// fmtValue renders a metric value with its family's unit: *_ns values
+// print as durations, everything else as plain integers.
+func fmtValue(family string, v int64) string {
+	if strings.HasSuffix(family, "_ns") {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	return fmt.Sprint(v)
+}
+
+// String renders the snapshot as an aligned text table — the format the
+// dvmsh \stats command prints. Counters and gauges show their value;
+// histograms show count, sum, max, and approximate p50/p90/p99.
+// Duration families (*_ns) render human-readable.
+func (s Snapshot) String() string {
+	rows := make([][]string, 0, len(s.Metrics)+1)
+	rows = append(rows, []string{"metric", "kind", "count", "sum/value", "max", "p50", "p90", "p99"})
+	for _, m := range s.Metrics {
+		name := m.Name
+		if m.Label != "" {
+			name = fmt.Sprintf("%s{%s}", m.Name, m.Label)
+		}
+		switch m.Kind {
+		case "histogram":
+			rows = append(rows, []string{
+				name, m.Kind, fmt.Sprint(m.Count),
+				fmtValue(m.Name, m.Sum), fmtValue(m.Name, m.Max),
+				fmtValue(m.Name, m.P50), fmtValue(m.Name, m.P90), fmtValue(m.Name, m.P99),
+			})
+		default:
+			rows = append(rows, []string{name, m.Kind, "", fmtValue(m.Name, m.Value), "", "", "", ""})
+		}
+	}
+
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	for r, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+		if r == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", w))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

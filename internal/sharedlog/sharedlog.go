@@ -69,6 +69,21 @@ func (l *Log) TupleVolume() int {
 	return n
 }
 
+// VolumeSince returns the tuple volume of retained entries with
+// LSN >= from (clamped to the retained window) — one view's pending
+// backlog when from is that view's cursor.
+func (l *Log) VolumeSince(from int64) int {
+	if from < l.tail {
+		from = l.tail
+	}
+	n := 0
+	for i := from - l.tail; i >= 0 && i < int64(len(l.entries)); i++ {
+		e := l.entries[i]
+		n += e.Del.Len() + e.Ins.Len()
+	}
+	return n
+}
+
 // Append records one transaction's change batch and returns its LSN.
 // The log takes ownership of the bags.
 func (l *Log) Append(del, ins *bag.Bag) int64 {

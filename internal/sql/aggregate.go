@@ -68,7 +68,7 @@ func (e *Engine) execAggregate(s *SimpleSelect, st *SelectStmt) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := algebra.Eval(expr, e.db)
+	rows, err := e.evalUnderViewLocks(expr)
 	if err != nil {
 		return nil, err
 	}

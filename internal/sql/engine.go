@@ -8,6 +8,7 @@ import (
 	"dvm/internal/algebra"
 	"dvm/internal/bag"
 	"dvm/internal/core"
+	"dvm/internal/obs"
 	"dvm/internal/schema"
 	"dvm/internal/storage"
 	"dvm/internal/txn"
@@ -112,8 +113,39 @@ func (e *Engine) ExecScript(input string) ([]*Result, error) {
 	return out, nil
 }
 
-// ExecStmt executes a parsed statement.
+// stmtKind labels a statement for the sql_stmt_ns metric family.
+func stmtKind(st Stmt) string {
+	switch st.(type) {
+	case *CreateTable:
+		return "create_table"
+	case *CreateView:
+		return "create_view"
+	case *DropStmt:
+		return "drop"
+	case *SelectStmt:
+		return "select"
+	case *ExplainStmt:
+		return "explain"
+	case *InsertStmt:
+		return "insert"
+	case *DeleteStmt:
+		return "delete"
+	case *MaintStmt:
+		return "maint"
+	case *ShowStmt:
+		return "show"
+	}
+	return "other"
+}
+
+// ExecStmt executes a parsed statement, recording its latency as
+// sql_stmt_ns{kind}.
 func (e *Engine) ExecStmt(st Stmt) (*Result, error) {
+	defer obs.StartSpan(e.mgr.Obs().Histogram("sql_stmt_ns", stmtKind(st))).End()
+	return e.execStmt(st)
+}
+
+func (e *Engine) execStmt(st Stmt) (*Result, error) {
 	switch s := st.(type) {
 	case *CreateTable:
 		if _, err := e.db.Create(s.Name, schema.NewSchema(s.Cols...), storage.External); err != nil {
@@ -186,7 +218,7 @@ func (e *Engine) ExecStmt(st Stmt) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			rows, err := algebra.Eval(expr, e.db)
+			rows, err := e.evalUnderViewLocks(expr)
 			if err != nil {
 				return nil, err
 			}
@@ -242,6 +274,31 @@ func (e *Engine) baseResolver() Resolver {
 		}
 		return algebra.NewBase(name, tb.Schema()), nil
 	}
+}
+
+// evalUnderViewLocks evaluates a compiled query; when it reads any
+// view's MV table, the evaluation runs under those tables' shared
+// locks, so reads block behind refreshes (and the blocked time lands in
+// lock_read_wait_ns — the user-observed view downtime).
+func (e *Engine) evalUnderViewLocks(expr algebra.Expr) (*bag.Bag, error) {
+	var mvs []string
+	for _, n := range algebra.BaseNames(expr) {
+		for _, v := range e.mgr.Views() {
+			if v.MVTable() == n {
+				mvs = append(mvs, n)
+			}
+		}
+	}
+	if len(mvs) == 0 {
+		return algebra.Eval(expr, e.db)
+	}
+	var rows *bag.Bag
+	err := e.mgr.Locks().WithRead(mvs, func() error {
+		var err error
+		rows, err = algebra.Eval(expr, e.db)
+		return err
+	})
+	return rows, err
 }
 
 // queryResolver resolves external tables and views (a view reads its MV

@@ -66,9 +66,25 @@ func (e *Engine) SaveTo(w io.Writer) error {
 	return ext.Save(w)
 }
 
-// LoadEngine restores an engine snapshot written by SaveTo.
+// countingReader tallies bytes consumed so LoadEngine can report the
+// snapshot_load_bytes metric on the freshly built engine.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// LoadEngine restores an engine snapshot written by SaveTo. The bytes
+// consumed are recorded as snapshot_load_bytes in the new engine's
+// registry.
 func LoadEngine(r io.Reader) (*Engine, error) {
-	br := bufio.NewReader(r)
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("sql: load: %w", err)
@@ -109,5 +125,8 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 			return nil, fmt.Errorf("sql: load: replaying %q: %w", stmt, err)
 		}
 	}
+	// Only the bytes actually consumed count (the bufio reader may have
+	// read ahead into its buffer).
+	e.mgr.Obs().Counter("snapshot_load_bytes", "").Add(cr.n - int64(br.Buffered()))
 	return e, nil
 }

@@ -32,10 +32,29 @@ const (
 	tagBool
 )
 
+// countingWriter wraps an io.Writer and tallies bytes written, so Save
+// can report snapshot size without buffering the whole snapshot.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
 // Save writes a snapshot of the whole database (external and internal
-// tables) to w. The snapshot restores with Load.
+// tables) to w. The snapshot restores with Load. When a registry is
+// attached via SetMetrics, the bytes written are recorded as
+// snapshot_save_bytes.
 func (db *Database) Save(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: w}
+	if db.metrics != nil {
+		defer func() { db.metrics.Counter("snapshot_save_bytes", "").Add(cw.n) }()
+	}
+	bw := bufio.NewWriter(cw)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return err
 	}

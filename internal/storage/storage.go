@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"dvm/internal/bag"
+	"dvm/internal/obs"
 	"dvm/internal/schema"
 )
 
@@ -84,11 +85,18 @@ func (t *Table) Clear() { t.data = bag.New() }
 // Database is a mutable database state: a mapping from table names to
 // bags (Section 2.1). It implements algebra.Source.
 type Database struct {
-	tables map[string]*Table
+	tables  map[string]*Table
+	metrics *obs.Registry
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database { return &Database{tables: make(map[string]*Table)} }
+
+// SetMetrics attaches an obs registry so Save records
+// snapshot_save_bytes. Load-side bytes are recorded by the caller that
+// owns the registry (the sql engine), since Load constructs a fresh
+// database.
+func (db *Database) SetMetrics(r *obs.Registry) { db.metrics = r }
 
 // Create adds a new table.
 func (db *Database) Create(name string, sch *schema.Schema, kind Kind) (*Table, error) {
@@ -147,6 +155,7 @@ func (db *Database) Names() []string {
 // later comparison. Tuples are shared (immutable); bags are copied.
 func (db *Database) Snapshot() *Database {
 	c := NewDatabase()
+	c.metrics = db.metrics
 	for name, t := range db.tables {
 		c.tables[name] = &Table{name: t.name, sch: t.sch, kind: t.kind, data: t.data.Clone()}
 	}

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dvm/internal/obs"
 )
 
 // LockStats accumulates exclusive-lock hold times for a table — the
@@ -20,12 +22,23 @@ type LockStats struct {
 
 // LockManager provides per-table reader/writer locks with deterministic
 // (sorted) acquisition order, and records write-hold durations so the
-// benchmark harness can report downtime.
+// benchmark harness can report downtime. With SetRegistry it
+// additionally feeds per-table lock_write_hold_ns / lock_read_wait_ns
+// histograms in an obs.Registry.
 type LockManager struct {
 	mu    sync.Mutex
 	locks map[string]*sync.RWMutex
 	stats map[string]*LockStats
+	hists map[string]*lockHists
 	clock func() time.Time
+	reg   *obs.Registry
+}
+
+// lockHists caches one table's obs histograms so the hot path never
+// takes the registry lock.
+type lockHists struct {
+	writeHold *obs.Histogram
+	readWait  *obs.Histogram
 }
 
 // NewLockManager returns an empty lock manager.
@@ -33,11 +46,29 @@ func NewLockManager() *LockManager {
 	return &LockManager{
 		locks: make(map[string]*sync.RWMutex),
 		stats: make(map[string]*LockStats),
+		hists: make(map[string]*lockHists),
 		clock: time.Now,
 	}
 }
 
-func (lm *LockManager) lockFor(table string) (*sync.RWMutex, *LockStats) {
+// SetRegistry attaches an obs registry: from now on every exclusive
+// hold records into lock_write_hold_ns{table} and every shared
+// acquisition records its blocked time into lock_read_wait_ns{table} —
+// the reader-observed view downtime of Section 1.1. Call before
+// concurrent use.
+func (lm *LockManager) SetRegistry(r *obs.Registry) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.reg = r
+	for table := range lm.locks {
+		lm.hists[table] = &lockHists{
+			writeHold: r.Histogram("lock_write_hold_ns", table),
+			readWait:  r.Histogram("lock_read_wait_ns", table),
+		}
+	}
+}
+
+func (lm *LockManager) lockFor(table string) (*sync.RWMutex, *LockStats, *lockHists) {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	l, ok := lm.locks[table]
@@ -45,8 +76,14 @@ func (lm *LockManager) lockFor(table string) (*sync.RWMutex, *LockStats) {
 		l = &sync.RWMutex{}
 		lm.locks[table] = l
 		lm.stats[table] = &LockStats{}
+		if lm.reg != nil {
+			lm.hists[table] = &lockHists{
+				writeHold: lm.reg.Histogram("lock_write_hold_ns", table),
+				readWait:  lm.reg.Histogram("lock_read_wait_ns", table),
+			}
+		}
 	}
-	return l, lm.stats[table]
+	return l, lm.stats[table], lm.hists[table]
 }
 
 func sortedUnique(tables []string) []string {
@@ -69,12 +106,13 @@ func (lm *LockManager) WithWrite(tables []string, f func() error) error {
 	type held struct {
 		l *sync.RWMutex
 		s *LockStats
+		h *lockHists
 	}
 	hs := make([]held, len(ts))
 	for i, t := range ts {
-		l, s := lm.lockFor(t)
+		l, s, h := lm.lockFor(t)
 		l.Lock()
-		hs[i] = held{l: l, s: s}
+		hs[i] = held{l: l, s: s, h: h}
 	}
 	start := lm.clock()
 	err := f()
@@ -88,6 +126,11 @@ func (lm *LockManager) WithWrite(tables []string, f func() error) error {
 		}
 	}
 	lm.mu.Unlock()
+	for _, h := range hs {
+		if h.h != nil {
+			h.h.writeHold.Observe(int64(elapsed))
+		}
+	}
 	for i := len(hs) - 1; i >= 0; i-- {
 		hs[i].l.Unlock()
 	}
@@ -100,8 +143,9 @@ func (lm *LockManager) WithRead(tables []string, f func() error) error {
 	ts := sortedUnique(tables)
 	locks := make([]*sync.RWMutex, len(ts))
 	stats := make([]*LockStats, len(ts))
+	hists := make([]*lockHists, len(ts))
 	for i, t := range ts {
-		locks[i], stats[i] = lm.lockFor(t)
+		locks[i], stats[i], hists[i] = lm.lockFor(t)
 	}
 	for i, l := range locks {
 		start := lm.clock()
@@ -114,6 +158,9 @@ func (lm *LockManager) WithRead(tables []string, f func() error) error {
 			stats[i].MaxReadWait = waited
 		}
 		lm.mu.Unlock()
+		if hists[i] != nil {
+			hists[i].readWait.Observe(int64(waited))
+		}
 	}
 	err := f()
 	for i := len(locks) - 1; i >= 0; i-- {

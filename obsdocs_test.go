@@ -1,0 +1,95 @@
+package dvm_test
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dvm"
+)
+
+// docFamilyRe extracts the metric family from one table row of the
+// families table in docs/observability.md: "| `family_name` | ...".
+var docFamilyRe = regexp.MustCompile("(?m)^\\| `([a-z0-9_]+)` \\|")
+
+// documentedFamilies parses the family names out of the marked table
+// in docs/observability.md.
+func documentedFamilies(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile("docs/observability.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	begin := strings.Index(text, "<!-- families:begin -->")
+	end := strings.Index(text, "<!-- families:end -->")
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatal("docs/observability.md: families:begin/end markers missing or out of order")
+	}
+	out := map[string]bool{}
+	for _, m := range docFamilyRe.FindAllStringSubmatch(text[begin:end], -1) {
+		out[m[1]] = true
+	}
+	if len(out) == 0 {
+		t.Fatal("docs/observability.md: no family rows found between markers")
+	}
+	return out
+}
+
+// TestObservabilityDocsMatchRegistry runs a workload that touches every
+// instrumented subsystem (transactions, maintenance, SQL, locks,
+// snapshots), then asserts the metric families the registry emits and
+// the families docs/observability.md documents are the same set — in
+// both directions. Adding a metric without documenting it, or
+// documenting one that no longer exists, fails here.
+func TestObservabilityDocsMatchRegistry(t *testing.T) {
+	eng := dvm.NewEngine()
+	script := `
+CREATE TABLE sales (custId INT, itemNo INT, quantity INT, salesPrice FLOAT);
+CREATE MATERIALIZED VIEW hv REFRESH DEFERRED COMBINED AS
+SELECT s.custId, s.itemNo FROM sales s WHERE s.quantity != 0;
+INSERT INTO sales VALUES (1, 10, 2, 9.99);
+INSERT INTO sales VALUES (2, 11, 0, 5.00);
+PROPAGATE hv;
+PARTIAL REFRESH hv;
+INSERT INTO sales VALUES (3, 12, 1, 7.50);
+REFRESH hv;
+SELECT * FROM hv;
+`
+	if _, err := eng.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot save/load bytes live on the saving engine's registry and
+	// the restored engine's registry respectively; union them.
+	var buf bytes.Buffer
+	if err := eng.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := dvm.LoadEngine(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	emitted := map[string]bool{}
+	for _, fam := range eng.Manager().Obs().Snapshot().Families() {
+		emitted[fam] = true
+	}
+	for _, fam := range restored.Manager().Obs().Snapshot().Families() {
+		emitted[fam] = true
+	}
+
+	documented := documentedFamilies(t)
+	for fam := range emitted {
+		if !documented[fam] {
+			t.Errorf("registry emits %q but docs/observability.md does not document it", fam)
+		}
+	}
+	for fam := range documented {
+		if !emitted[fam] {
+			t.Errorf("docs/observability.md documents %q but the workload never emitted it", fam)
+		}
+	}
+}

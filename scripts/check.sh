@@ -2,9 +2,9 @@
 # check.sh — the expanded tier-1 gate (see ROADMAP.md).
 #
 # Runs the full static + dynamic battery: build, vet, the repo's own
-# dvmlint analyzers, the unit/property suite under the race detector,
-# and a bounded run of each fuzz target. Everything here must pass
-# before a change lands.
+# dvmlint analyzers, the docs link-and-anchor checker, the
+# unit/property suite under the race detector, and a bounded run of
+# each fuzz target. Everything here must pass before a change lands.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +16,9 @@ go vet ./...
 
 echo "== dvmlint"
 go run ./cmd/dvmlint ./...
+
+echo "== doccheck (README.md docs/*.md)"
+go run ./cmd/doccheck
 
 echo "== go test -race"
 go test -race ./...
