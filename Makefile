@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint doccheck check fuzz
+.PHONY: build test lint doccheck check fuzz benchdiff
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,16 @@ doccheck:
 	$(GO) run ./cmd/doccheck
 
 # The expanded tier-1 gate: build + vet + dvmlint + doccheck + race
-# tests + bounded fuzzing. Same battery as scripts/check.sh.
+# tests + bounded fuzzing. Same battery as scripts/check.sh. Set
+# BENCHDIFF=1 to also guard against downtime regressions vs the
+# newest BENCH_*.json baseline.
 check:
 	./scripts/check.sh
+
+# Compare a fresh dvmbench run's downtime phases against the newest
+# BENCH_*.json baseline; fails on any >2x regression.
+benchdiff:
+	./scripts/benchdiff.sh
 
 fuzz:
 	$(GO) test ./internal/algebra -run '^$$' -fuzz '^FuzzExprParseEval$$' -fuzztime=30s

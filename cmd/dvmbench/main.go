@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	dvmbench            # run all experiments
-//	dvmbench -exp e4    # run one experiment
-//	dvmbench -list      # list experiment ids
-//	dvmbench -json      # emit the reports (tables + obs phase timings) as JSON
+//	dvmbench                    # run all experiments
+//	dvmbench -exp e4            # run one experiment
+//	dvmbench -list              # list experiment ids
+//	dvmbench -json              # emit the reports (tables + obs phase timings) as JSON
+//	dvmbench -trace out.json    # also run a traced Policy-1 retail day and
+//	                            # write its Chrome trace-event file (Perfetto)
+//	dvmbench -diff BENCH_X.json # fail (exit 1) if any downtime phase's max
+//	                            # regressed >2x against the baseline
 package main
 
 import (
@@ -19,13 +23,30 @@ import (
 	"time"
 
 	"dvm/internal/bench"
+	"dvm/internal/obs/trace"
 )
+
+// diffFactor is the regression threshold -diff enforces: a downtime
+// phase fails when its max exceeds this multiple of the baseline's.
+const diffFactor = 2.0
 
 func main() {
 	exp := flag.String("exp", "", "run a single experiment (e1..e9); empty runs all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	asJSON := flag.Bool("json", false, "emit reports as JSON (for BENCH_*.json baselines)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event file of a traced Policy-1 retail day")
+	diff := flag.String("diff", "", "compare downtime phases against this BENCH_*.json baseline; exit 1 on >2x regression")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *exp == "" && !*asJSON && *diff == "" && !*list {
+			return
+		}
+	}
 
 	exps := bench.All()
 	if *list {
@@ -66,4 +87,46 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *diff != "" {
+		if err := diffAgainst(*diff, reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: no downtime regression vs %s\n", *diff)
+	}
+}
+
+// writeTrace runs the traced Policy-1 retail day and writes its Chrome
+// trace-event export to path, verifying the file through the in-repo
+// parser first.
+func writeTrace(path string) error {
+	data, err := bench.TracedRetailRun(24, 40)
+	if err != nil {
+		return err
+	}
+	if _, err := trace.ParseChrome(data); err != nil {
+		return fmt.Errorf("dvmbench: exported trace failed validation: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote Chrome trace-event file to %s (load in Perfetto or chrome://tracing)\n", path)
+	return nil
+}
+
+// diffAgainst compares the fresh reports' downtime phases with a
+// baseline file, returning an error listing every >2x regression.
+func diffAgainst(path string, fresh []*bench.Report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	baseline, err := bench.ParseReports(data)
+	if err != nil {
+		return err
+	}
+	if problems := bench.CompareDowntime(baseline, fresh, diffFactor); len(problems) > 0 {
+		return fmt.Errorf("benchdiff: downtime regression vs %s:\n  %s", path, strings.Join(problems, "\n  "))
+	}
+	return nil
 }

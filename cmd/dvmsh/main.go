@@ -10,6 +10,8 @@
 //
 //	\stats [prefix]   print the engine's metrics (docs/observability.md),
 //	                  optionally only families starting with prefix
+//	\trace [n]        print the last n captured trace trees (default 5),
+//	                  newest first (docs/observability.md "Tracing")
 //
 // A file of statements can be piped on stdin, or passed with -f.
 package main
@@ -18,10 +20,12 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
-	"dvm/internal/obs"
+	"dvm/internal/obs/trace"
 	"dvm/internal/sql"
 )
 
@@ -29,16 +33,21 @@ func main() {
 	file := flag.String("f", "", "execute statements from this file, then exit")
 	load := flag.String("load", "", "restore an engine snapshot before starting")
 	save := flag.String("save", "", "write an engine snapshot on clean exit")
+	traceSpec := flag.String("trace", "all", "trace sampling: off|all|rate=N|threshold=DUR (inspect with \\trace)")
 	flag.Parse()
 
-	engine := sql.NewEngine()
+	engine := sql.NewEngine(sql.WithTraceSpec(*traceSpec))
+	if err := engine.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		engine, err = sql.LoadEngine(f)
+		engine, err = sql.LoadEngine(f, sql.WithTraceSpec(*traceSpec))
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -108,7 +117,7 @@ func runLines(engine *sql.Engine, in *bufio.Scanner, interactive, stopOnErr bool
 	for in.Scan() {
 		line := in.Text()
 		if buf.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), "\\") {
-			metaCommand(engine, strings.TrimSpace(line))
+			metaCommand(os.Stdout, engine, strings.TrimSpace(line))
 			prompt(interactive, false)
 			continue
 		}
@@ -142,24 +151,36 @@ func runLines(engine *sql.Engine, in *bufio.Scanner, interactive, stopOnErr bool
 	return nil
 }
 
-// metaCommand handles backslash commands (currently \stats [prefix]).
-func metaCommand(engine *sql.Engine, cmd string) {
+// metaCommand handles backslash commands (\stats [prefix],
+// \trace [n]), writing output to w.
+func metaCommand(w io.Writer, engine *sql.Engine, cmd string) {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\stats":
 		snap := engine.Manager().Obs().Snapshot()
 		if len(fields) > 1 {
-			var kept []obs.Metric
-			for _, m := range snap.Metrics {
-				if strings.HasPrefix(m.Name, fields[1]) {
-					kept = append(kept, m)
-				}
-			}
-			snap.Metrics = kept
+			snap = snap.Filter(fields[1])
 		}
-		fmt.Print(snap.String())
+		fmt.Fprint(w, snap.String())
+	case "\\trace":
+		n := 5
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 1 {
+				fmt.Fprintln(w, "usage: \\trace [n]")
+				return
+			}
+			n = v
+		}
+		tracer := engine.Manager().Tracer()
+		traces := tracer.Last(n)
+		if len(traces) == 0 {
+			fmt.Fprintf(w, "no traces captured (sampling mode: %s)\n", tracer.Mode())
+			return
+		}
+		fmt.Fprint(w, trace.RenderAll(traces))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown command %s (try \\stats)\n", fields[0])
+		fmt.Fprintf(w, "unknown command %s (try \\stats or \\trace)\n", fields[0])
 	}
 }
 

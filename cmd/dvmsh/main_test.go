@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dvm/internal/sql"
+)
+
+// testEngine builds a traced engine with one Combined view and a bit
+// of maintenance history.
+func testEngine(t *testing.T) *sql.Engine {
+	t.Helper()
+	engine := sql.NewEngine(sql.WithTraceSpec("all"))
+	if err := engine.Err(); err != nil {
+		t.Fatal(err)
+	}
+	script := `
+CREATE TABLE sales (id INT, amount INT);
+CREATE MATERIALIZED VIEW big REFRESH DEFERRED COMBINED AS
+  SELECT id, amount FROM sales WHERE amount > 100;
+INSERT INTO sales VALUES (1, 500);
+INSERT INTO sales VALUES (2, 50);
+PROPAGATE big;
+REFRESH big;
+`
+	if _, err := engine.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	return engine
+}
+
+func TestStatsPrefixFilter(t *testing.T) {
+	engine := testEngine(t)
+	var buf strings.Builder
+	metaCommand(&buf, engine, "\\stats lock_")
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("\\stats lock_ printed no metric rows:\n%s", out)
+	}
+	// Every data row (after header + rule) must be from a lock_ family.
+	for _, line := range lines[2:] {
+		if !strings.HasPrefix(line, "lock_") {
+			t.Errorf("unfiltered row %q in:\n%s", line, out)
+		}
+	}
+	if strings.Contains(out, "view_downtime_ns") {
+		t.Errorf("\\stats lock_ leaked other families:\n%s", out)
+	}
+
+	// Unfiltered output must contain families the filter removed.
+	buf.Reset()
+	metaCommand(&buf, engine, "\\stats")
+	if !strings.Contains(buf.String(), "view_downtime_ns") {
+		t.Errorf("unfiltered \\stats missing view_downtime_ns:\n%s", buf.String())
+	}
+
+	// A prefix matching nothing yields just the header.
+	buf.Reset()
+	metaCommand(&buf, engine, "\\stats no_such_family")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("\\stats no_such_family printed %d lines, want 2 (header+rule):\n%s", got, buf.String())
+	}
+}
+
+func TestTraceCommand(t *testing.T) {
+	engine := testEngine(t)
+	var buf strings.Builder
+	metaCommand(&buf, engine, "\\trace 3")
+	out := buf.String()
+	if !strings.Contains(out, "sql.stmt") {
+		t.Errorf("\\trace output missing sql.stmt spans:\n%s", out)
+	}
+	if !strings.Contains(out, "core.refresh.apply") {
+		t.Errorf("\\trace output missing the refresh apply span:\n%s", out)
+	}
+	if !strings.Contains(out, "(exclusive)") {
+		t.Errorf("\\trace output missing the exclusive marker:\n%s", out)
+	}
+	// Count trace headers: exactly 3 were requested.
+	if got := strings.Count(out, "\n#")+boolToInt(strings.HasPrefix(out, "#")); got != 3 {
+		t.Errorf("\\trace 3 rendered %d traces, want 3:\n%s", got, out)
+	}
+
+	// Bad argument prints usage, not a panic.
+	buf.Reset()
+	metaCommand(&buf, engine, "\\trace zero")
+	if !strings.Contains(buf.String(), "usage") {
+		t.Errorf("\\trace zero: got %q, want usage message", buf.String())
+	}
+}
+
+func TestTraceCommandDisabledTracer(t *testing.T) {
+	engine := sql.NewEngine(sql.WithTraceSpec("off"))
+	if err := engine.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	metaCommand(&buf, engine, "\\trace")
+	if !strings.Contains(buf.String(), "no traces captured") {
+		t.Errorf("disabled tracer: got %q", buf.String())
+	}
+}
+
+func TestUnknownMetaCommand(t *testing.T) {
+	engine := sql.NewEngine()
+	var buf strings.Builder
+	metaCommand(&buf, engine, "\\bogus")
+	if !strings.Contains(buf.String(), "unknown command") {
+		t.Errorf("got %q, want unknown-command message", buf.String())
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

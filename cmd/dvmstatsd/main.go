@@ -1,45 +1,67 @@
-// Command dvmstatsd serves a dvm engine's metrics over HTTP — the
-// expvar-style endpoint of the observability layer (docs/observability.md).
+// Command dvmstatsd serves a dvm engine's metrics and traces over
+// HTTP — the live half of the observability layer
+// (docs/observability.md).
 //
 // It builds an engine (fresh, from a -load snapshot, or by executing a
-// -f SQL script), then serves the engine's metrics registry on -addr:
+// -f SQL script), then serves the engine's registry and tracer on
+// -addr:
 //
 //	GET /stats             JSON snapshot of every metric
 //	GET /stats?format=text the aligned table dvmsh \stats prints
+//	GET /trace             JSON list of captured trace summaries
+//	GET /trace?id=42       one full span tree (add &format=text to render)
+//	GET /healthz           200 ok (liveness probe)
+//
+// The server shuts down gracefully on SIGINT/SIGTERM (in-flight
+// requests get up to 5s to finish).
 //
 // With -demo it additionally runs a small retail-style workload in a
 // loop (one writer goroutine; the HTTP side only reads atomics), so the
-// histograms keep moving while you watch:
+// histograms and the trace ring keep moving while you watch:
 //
 //	dvmstatsd -demo &
 //	curl 'localhost:7171/stats?format=text'
+//	curl 'localhost:7171/trace?n=3'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dvm/internal/obs"
+	"dvm/internal/obs/trace"
 	"dvm/internal/sql"
 )
+
+// shutdownTimeout bounds how long graceful shutdown waits for
+// in-flight requests.
+const shutdownTimeout = 5 * time.Second
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7171", "listen address for the stats endpoint")
 	file := flag.String("f", "", "execute this SQL script before serving")
 	load := flag.String("load", "", "restore an engine snapshot before serving")
 	demo := flag.Bool("demo", false, "run a looping retail-style workload so metrics keep moving")
+	traceSpec := flag.String("trace", "all", "trace sampling: off|all|rate=N|threshold=DUR (served on /trace)")
 	flag.Parse()
 
-	engine := sql.NewEngine()
+	engine := sql.NewEngine(sql.WithTraceSpec(*traceSpec))
+	if err := engine.Err(); err != nil {
+		fatal(err)
+	}
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
 			fatal(err)
 		}
-		engine, err = sql.LoadEngine(f)
+		engine, err = sql.LoadEngine(f, sql.WithTraceSpec(*traceSpec))
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -62,14 +84,56 @@ func main() {
 		}
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dvmstatsd serving http://%s/stats\n", ln.Addr())
+	srv := &http.Server{Handler: newMux(engine), ReadHeaderTimeout: 5 * time.Second}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	if err := serveUntilSignal(srv, ln, sigc, shutdownTimeout); err != nil {
+		fatal(err)
+	}
+	fmt.Println("dvmstatsd: shut down cleanly")
+}
+
+// newMux builds the daemon's routes over the engine's registry and
+// tracer.
+func newMux(engine *sql.Engine) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/stats", obs.Handler(engine.Manager().Obs()))
-	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "dvmstatsd — GET /stats (JSON) or /stats?format=text")
+	mux.Handle("/trace", trace.Handler(engine.Manager().Tracer()))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
 	})
-	fmt.Printf("dvmstatsd serving http://%s/stats\n", *addr)
-	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	fatal(srv.ListenAndServe())
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "dvmstatsd — GET /stats (JSON), /stats?format=text, /trace, /healthz")
+	})
+	return mux
+}
+
+// serveUntilSignal serves on ln until the server fails or a signal
+// arrives on sigc, then shuts down gracefully: no new connections,
+// in-flight requests get up to timeout to complete.
+func serveUntilSignal(srv *http.Server, ln net.Listener, sigc <-chan os.Signal, timeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-sigc:
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
 }
 
 func fatal(err error) {

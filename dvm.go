@@ -209,8 +209,16 @@ type (
 	Result = sql.Result
 )
 
+// EngineOption configures a new or restored Engine.
+type EngineOption = sql.EngineOption
+
+// WithTraceSpec enables per-transaction structured tracing on the
+// engine's manager: "off", "all", "rate=N", or "threshold=DUR" (see
+// docs/observability.md, Tracing).
+var WithTraceSpec = sql.WithTraceSpec
+
 // NewEngine creates a SQL engine over a fresh database.
-func NewEngine() *Engine { return sql.NewEngine() }
+func NewEngine(opts ...EngineOption) *Engine { return sql.NewEngine(opts...) }
 
 // NewEngineOver wraps an existing database and manager.
 func NewEngineOver(db *Database, mgr *Manager) *Engine {

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// regressionFloor is the absolute downtime below which comparisons are
+// skipped: sub-200µs phases are dominated by scheduler noise, and a 2x
+// blowup of nothing is still nothing.
+const regressionFloor = 200 * time.Microsecond
+
+// ParseReports decodes a dvmbench -json report array (the BENCH_*.json
+// baseline format).
+func ParseReports(data []byte) ([]*Report, error) {
+	var reports []*Report
+	if err := json.Unmarshal(data, &reports); err != nil {
+		return nil, fmt.Errorf("bench: invalid report JSON: %w", err)
+	}
+	return reports, nil
+}
+
+// CompareDowntime flags downtime regressions between a baseline and a
+// fresh run: for every downtime phase present in both (matched by
+// report ID and phase name), the new Max must not exceed factor times
+// the old Max, unless both are under the noise floor. Returned
+// messages are empty when the run is clean. This is the check behind
+// scripts/benchdiff.sh and dvmbench -diff.
+func CompareDowntime(baseline, fresh []*Report, factor float64) []string {
+	oldPhases := indexDowntime(baseline)
+	var problems []string
+	for _, r := range fresh {
+		for _, p := range r.Phases {
+			if !isDowntimePhase(p.Name) {
+				continue
+			}
+			old, ok := oldPhases[r.ID+"\x00"+p.Name]
+			if !ok {
+				continue
+			}
+			if p.Max <= regressionFloor && old.Max <= regressionFloor {
+				continue
+			}
+			if float64(p.Max) > factor*float64(old.Max) {
+				problems = append(problems, fmt.Sprintf(
+					"%s %s: max downtime %v exceeds %.1fx baseline %v",
+					r.ID, p.Name, p.Max, factor, old.Max))
+			}
+		}
+	}
+	return problems
+}
+
+// indexDowntime maps (report ID, phase name) to the baseline's
+// downtime phases.
+func indexDowntime(reports []*Report) map[string]PhaseStat {
+	out := make(map[string]PhaseStat)
+	for _, r := range reports {
+		for _, p := range r.Phases {
+			if isDowntimePhase(p.Name) {
+				out[r.ID+"\x00"+p.Name] = p
+			}
+		}
+	}
+	return out
+}
+
+// isDowntimePhase matches view_downtime_ns phases, with or without a
+// {label} suffix or a report-local prefix.
+func isDowntimePhase(name string) bool {
+	return strings.Contains(name, "view_downtime_ns")
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dvm/internal/obs/trace"
+)
+
+func mkReport(id string, phases ...PhaseStat) *Report {
+	return &Report{ID: id, Title: id, Header: []string{"x"}, Phases: phases}
+}
+
+func TestCompareDowntimeFlagsRegression(t *testing.T) {
+	base := []*Report{mkReport("e4",
+		PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: time.Millisecond},
+		PhaseStat{Name: "propagate_ns{hv}", Count: 1, Max: time.Millisecond},
+	)}
+	fresh := []*Report{mkReport("e4",
+		PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: 3 * time.Millisecond},
+		// Non-downtime phases may regress arbitrarily without tripping.
+		PhaseStat{Name: "propagate_ns{hv}", Count: 1, Max: time.Second},
+	)}
+	problems := CompareDowntime(base, fresh, 2.0)
+	if len(problems) != 1 {
+		t.Fatalf("got %d problems (%v), want 1", len(problems), problems)
+	}
+}
+
+func TestCompareDowntimeCleanRun(t *testing.T) {
+	base := []*Report{mkReport("e4",
+		PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: time.Millisecond})}
+	fresh := []*Report{mkReport("e4",
+		PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: 1900 * time.Microsecond})}
+	if problems := CompareDowntime(base, fresh, 2.0); len(problems) != 0 {
+		t.Fatalf("clean run flagged: %v", problems)
+	}
+}
+
+func TestCompareDowntimeIgnoresNoiseAndNewPhases(t *testing.T) {
+	base := []*Report{mkReport("e4",
+		PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: 10 * time.Microsecond})}
+	fresh := []*Report{
+		mkReport("e4",
+			// 5x "regression" but both sides are under the noise floor.
+			PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: 50 * time.Microsecond},
+			// Phase absent from the baseline: skipped, not flagged.
+			PhaseStat{Name: "view_downtime_ns{other}", Count: 1, Max: time.Second}),
+		// Report absent from the baseline: skipped.
+		mkReport("e99",
+			PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: time.Second}),
+	}
+	if problems := CompareDowntime(base, fresh, 2.0); len(problems) != 0 {
+		t.Fatalf("noise/new phases flagged: %v", problems)
+	}
+}
+
+func TestParseReportsRoundTrip(t *testing.T) {
+	in := []*Report{mkReport("e1", PhaseStat{Name: "view_downtime_ns{hv}", Count: 2, Max: time.Millisecond})}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseReports(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].ID != "e1" || out[0].Phases[0].Max != time.Millisecond {
+		t.Fatalf("round trip mangled: %+v", out[0])
+	}
+	if _, err := ParseReports([]byte("{")); err == nil {
+		t.Fatal("ParseReports accepted malformed JSON")
+	}
+}
+
+func TestTracedRetailRunProducesValidChrome(t *testing.T) {
+	data, err := TracedRetailRun(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exporter's own validity is asserted through the in-repo
+	// parser (the dvmbench -trace round trip).
+	events, err := trace.ParseChrome(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("traced run exported no events")
+	}
+}

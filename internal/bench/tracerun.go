@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+
+	"dvm/internal/core"
+	"dvm/internal/obs/trace"
+	"dvm/internal/storage"
+	"dvm/internal/workload"
+)
+
+// TracedRetailRun executes one Policy-1 retail day (hourly batches
+// with a propagate each, one refresh at close) with full trace
+// capture, and returns the captured traces exported as Chrome
+// trace-event JSON — the payload behind dvmbench -trace. Load the
+// file in Perfetto or chrome://tracing; each maintenance transaction
+// is one lane.
+func TracedRetailRun(hours, salesPerHour int) ([]byte, error) {
+	db := storage.NewDatabase()
+	w := workload.NewRetail(workload.DefaultRetailConfig())
+	if err := w.Setup(db); err != nil {
+		return nil, err
+	}
+	mgr := core.NewManager(db)
+	def, err := w.ViewDef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mgr.DefineView("hv", def, core.Combined); err != nil {
+		return nil, err
+	}
+	// One trace per maintenance transaction: the manager's ring must
+	// hold the whole day (execute+propagate per hour, plus the final
+	// refresh).
+	if want := 2*hours + 1; want > trace.DefaultCapacity {
+		return nil, fmt.Errorf("bench: %d hours needs %d trace slots, ring holds %d", hours, want, trace.DefaultCapacity)
+	}
+	mgr.Tracer().SampleAll()
+	for hour := 0; hour < hours; hour++ {
+		if err := mgr.Execute(w.SalesBatch(salesPerHour)); err != nil {
+			return nil, err
+		}
+		if err := mgr.Propagate("hv"); err != nil {
+			return nil, err
+		}
+	}
+	if err := mgr.Refresh("hv"); err != nil {
+		return nil, err
+	}
+	traces := mgr.Tracer().Last(0)
+	if want := 2*hours + 1; len(traces) != want {
+		return nil, fmt.Errorf("bench: traced run captured %d traces, want %d", len(traces), want)
+	}
+	return trace.ChromeJSON(traces)
+}

@@ -22,6 +22,7 @@ import (
 	"dvm/internal/algebra"
 	"dvm/internal/delta"
 	"dvm/internal/obs"
+	"dvm/internal/obs/trace"
 	"dvm/internal/schema"
 	"dvm/internal/storage"
 	"dvm/internal/txn"
@@ -173,6 +174,13 @@ type Manager struct {
 	// point records into it (see metrics.go and docs/observability.md).
 	obs       *obs.Registry
 	txnExecNs *obs.Histogram
+
+	// tracer captures per-transaction span trees (see trace.go and
+	// docs/observability.md "Tracing"); cur is the active statement
+	// span maintenance entry points parent under. cur follows the
+	// manager's single-writer discipline.
+	tracer *trace.Tracer
+	cur    *trace.Span
 }
 
 // NewManager wraps a database.
@@ -186,9 +194,11 @@ func NewManager(db *storage.Database, opts ...ManagerOption) *Manager {
 		scratchIns: make(map[string]string),
 		obs:        reg,
 		txnExecNs:  reg.Histogram("txn_exec_ns", ""),
+		tracer:     trace.NewTracer(0),
 	}
 	m.locks.SetRegistry(reg)
 	db.SetMetrics(reg)
+	db.SetTracer(m.tracer)
 	for _, o := range opts {
 		o(m)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dvm/internal/bag"
+	"dvm/internal/obs/trace"
 	"dvm/internal/schema"
 	"dvm/internal/txn"
 )
@@ -45,6 +46,8 @@ func (m *Manager) Execute(t txn.Txn) error {
 	}
 
 	start := time.Now()
+	xsp := m.startEntrySpan(trace.SpanExecute, trace.Int("tables", int64(len(nt))))
+	defer xsp.End()
 
 	// Publish the transaction's ∇R/△R into the shared scratch tables so
 	// precompiled incremental queries can read them.
@@ -75,9 +78,12 @@ func (m *Manager) Execute(t txn.Txn) error {
 			continue
 		}
 		affected = append(affected, v)
+		msp := xsp.StartChild(trace.SpanMakesafe,
+			trace.Str("view", v.Name), trace.Str("scenario", v.Scenario.String()))
 		if (v.Scenario == BaseLogs || v.Scenario == Combined) && m.shared != nil {
 			// Shared-log mode: the batch is appended once per TABLE
 			// below, not once per view.
+			msp.End()
 			continue
 		}
 		if (v.Scenario == BaseLogs || v.Scenario == Combined) && !m.slowLogAppend {
@@ -86,7 +92,9 @@ func (m *Manager) Execute(t txn.Txn) error {
 			// reads only the transaction's own deltas and touches only
 			// the delta's tuples, so it can run in place in
 			// O(|∇R|+|△R|) rather than rebuilding the log tables.
-			if err := m.appendToLogs(v, nt); err != nil {
+			err := m.appendToLogs(v, nt)
+			msp.End()
+			if err != nil {
 				return err
 			}
 			continue
@@ -95,6 +103,7 @@ func (m *Manager) Execute(t txn.Txn) error {
 		if v.Scenario == Immediate {
 			lockMVs = append(lockMVs, v.mvName)
 		}
+		msp.End()
 	}
 
 	if m.shared != nil {
@@ -106,7 +115,9 @@ func (m *Manager) Execute(t txn.Txn) error {
 	// Immediate views hold their MV write locks while the transaction
 	// installs — that blocking is exactly the per-transaction overhead
 	// immediate maintenance imposes.
-	apply := func() error {
+	apply := func(parent *trace.Span) error {
+		asp := parent.StartChild(trace.SpanApply, trace.Int("assigns", int64(len(assigns))))
+		defer asp.End()
 		if err := txn.ApplyAssignments(m.db, assigns); err != nil {
 			return err
 		}
@@ -132,7 +143,7 @@ func (m *Manager) Execute(t txn.Txn) error {
 		// The locked install is the Immediate views' downtime: readers of
 		// those MVs block for exactly this long, every transaction.
 		lockStart := time.Now()
-		err = m.locks.WithWrite(lockMVs, apply)
+		err = m.locks.WithWriteSpan(lockMVs, xsp, apply)
 		held := int64(time.Since(lockStart))
 		for _, v := range affected {
 			if v.Scenario == Immediate && v.met != nil {
@@ -140,7 +151,7 @@ func (m *Manager) Execute(t txn.Txn) error {
 			}
 		}
 	} else {
-		err = apply()
+		err = apply(xsp)
 	}
 	if err != nil {
 		return err

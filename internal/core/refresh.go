@@ -7,6 +7,7 @@ import (
 	"dvm/internal/algebra"
 	"dvm/internal/bag"
 	"dvm/internal/obs"
+	"dvm/internal/obs/trace"
 	"dvm/internal/txn"
 )
 
@@ -26,11 +27,14 @@ func (m *Manager) Refresh(name string) error {
 		return err
 	}
 	start := time.Now()
+	rsp := m.startEntrySpan(trace.SpanRefresh,
+		trace.Str("view", v.Name), trace.Str("scenario", v.Scenario.String()))
 	sp := obs.StartSpan(v.met.refreshNs)
 	defer func() {
 		v.Stats.Refreshes++
 		v.Stats.RefreshTime += time.Since(start)
 		sp.End()
+		rsp.End()
 		m.updateSizeGauges(v)
 	}()
 
@@ -38,11 +42,13 @@ func (m *Manager) Refresh(name string) error {
 	case Immediate:
 		return nil
 	case BaseLogs:
-		return m.locks.WithWrite([]string{v.mvName}, func() error {
-			defer obs.StartSpan(v.met.downtimeNs).End()
+		return m.locks.WithWriteSpan([]string{v.mvName}, rsp, func(hold *trace.Span) error {
+			asp, dsp := m.startDowntimeSpan(v, hold)
+			defer func() { asp.EndExplicit(dsp.End()) }()
 			if err := m.materializeIfShared(v); err != nil {
 				return err
 			}
+			asp.SetAttrs(trace.Int("log_tuples", int64(m.logVolume(v))))
 			if err := m.refreshFromLogLocked(v); err != nil {
 				return err
 			}
@@ -50,24 +56,44 @@ func (m *Manager) Refresh(name string) error {
 			return nil
 		})
 	case DiffTables:
-		return m.locks.WithWrite([]string{v.mvName}, func() error {
-			defer obs.StartSpan(v.met.downtimeNs).End()
+		return m.locks.WithWriteSpan([]string{v.mvName}, rsp, func(hold *trace.Span) error {
+			asp, dsp := m.startDowntimeSpan(v, hold)
+			asp.SetAttrs(trace.Int("diff_tuples", int64(m.diffVolume(v))))
+			defer func() { asp.EndExplicit(dsp.End()) }()
 			return m.applyDiffTablesLocked(v)
 		})
 	case Combined:
-		return m.locks.WithWrite([]string{v.mvName}, func() error {
-			defer obs.StartSpan(v.met.downtimeNs).End()
+		return m.locks.WithWriteSpan([]string{v.mvName}, rsp, func(hold *trace.Span) error {
+			asp, dsp := m.startDowntimeSpan(v, hold)
+			defer func() { asp.EndExplicit(dsp.End()) }()
 			if err := m.materializeIfShared(v); err != nil {
 				return err
 			}
+			asp.SetAttrs(trace.Int("log_tuples", int64(m.logVolume(v))))
 			if err := m.foldLog(v); err != nil {
 				return err
 			}
 			m.consumeWindowIfShared(v)
+			asp.SetAttrs(trace.Int("diff_tuples", int64(m.diffVolume(v))))
 			return m.applyDiffTablesLocked(v)
 		})
 	}
 	return fmt.Errorf("core: refresh: unknown scenario %v", v.Scenario)
+}
+
+// startDowntimeSpan opens the MV-exclusive core.refresh.apply span
+// under the lock-hold span together with the view_downtime_ns obs
+// span. The caller must finish both with
+//
+//	defer func() { asp.EndExplicit(dsp.End()) }()
+//
+// so the trace span and the histogram record the IDENTICAL duration —
+// that equality is what lets the E2E trace test reconcile a trace's
+// exclusive spans against the downtime histogram exactly.
+func (m *Manager) startDowntimeSpan(v *View, hold *trace.Span) (*trace.Span, obs.Span) {
+	asp := hold.StartChild(trace.SpanRefreshApply, trace.Str("view", v.Name))
+	asp.SetExclusive()
+	return asp, obs.StartSpan(v.met.downtimeNs)
 }
 
 // refreshFromLogLocked implements refresh_BL: one simultaneous transaction
@@ -123,16 +149,19 @@ func (m *Manager) Propagate(name string) error {
 		return fmt.Errorf("core: propagate is only defined for the Combined scenario (view %q is %v)", name, v.Scenario)
 	}
 	start := time.Now()
+	psp := m.startEntrySpan(trace.SpanPropagate, trace.Str("view", v.Name))
 	sp := obs.StartSpan(v.met.propagateNs)
 	defer func() {
 		v.Stats.Propagates++
 		v.Stats.PropagateTime += time.Since(start)
 		sp.End()
+		psp.End()
 		m.updateSizeGauges(v)
 	}()
 	if err := m.materializeIfShared(v); err != nil {
 		return err
 	}
+	psp.SetAttrs(trace.Int("log_tuples", int64(m.logVolume(v))))
 	if err := m.foldLog(v); err != nil {
 		return err
 	}
@@ -192,15 +221,19 @@ func (m *Manager) PartialRefresh(name string) error {
 		return fmt.Errorf("core: partial refresh needs differential tables (view %q is %v)", name, v.Scenario)
 	}
 	start := time.Now()
+	prsp := m.startEntrySpan(trace.SpanPartialRefresh, trace.Str("view", v.Name))
 	sp := obs.StartSpan(v.met.partialNs)
 	defer func() {
 		v.Stats.PartialCount++
 		v.Stats.PartialTime += time.Since(start)
 		sp.End()
+		prsp.End()
 		m.updateSizeGauges(v)
 	}()
-	return m.locks.WithWrite([]string{v.mvName}, func() error {
-		defer obs.StartSpan(v.met.downtimeNs).End()
+	return m.locks.WithWriteSpan([]string{v.mvName}, prsp, func(hold *trace.Span) error {
+		asp, dsp := m.startDowntimeSpan(v, hold)
+		asp.SetAttrs(trace.Int("diff_tuples", int64(m.diffVolume(v))))
+		defer func() { asp.EndExplicit(dsp.End()) }()
 		return m.applyDiffTablesLocked(v)
 	})
 }
@@ -214,15 +247,18 @@ func (m *Manager) RefreshRecompute(name string) error {
 		return err
 	}
 	start := time.Now()
+	rcsp := m.startEntrySpan(trace.SpanRecompute, trace.Str("view", v.Name))
 	sp := obs.StartSpan(v.met.recomputeNs)
 	defer func() {
 		v.Stats.Recomputes++
 		v.Stats.RecomputeTime += time.Since(start)
 		sp.End()
+		rcsp.End()
 		m.updateSizeGauges(v)
 	}()
-	return m.locks.WithWrite([]string{v.mvName}, func() error {
-		defer obs.StartSpan(v.met.downtimeNs).End()
+	return m.locks.WithWriteSpan([]string{v.mvName}, rcsp, func(hold *trace.Span) error {
+		asp, dsp := m.startDowntimeSpan(v, hold)
+		defer func() { asp.EndExplicit(dsp.End()) }()
 		fresh, err := algebra.Eval(v.Def, m.db)
 		if err != nil {
 			return err
@@ -262,8 +298,14 @@ func (m *Manager) Query(name string) (*bag.Bag, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Readers run concurrently with the writer, so Query starts its own
+	// root trace directly rather than parenting under the writer-owned
+	// statement span (startEntrySpan reads m.cur, which is
+	// single-writer state).
+	qsp := m.tracer.StartTrace(trace.SpanQuery, trace.Str("view", v.Name))
+	defer qsp.End()
 	var out *bag.Bag
-	err = m.locks.WithRead([]string{v.mvName}, func() error {
+	err = m.locks.WithReadSpan([]string{v.mvName}, qsp, func(*trace.Span) error {
 		b, err := m.db.Bag(v.mvName)
 		if err != nil {
 			return err

@@ -1,0 +1,40 @@
+package core
+
+import "dvm/internal/obs/trace"
+
+// Tracer exposes the manager's structured tracer. It is created with
+// every Manager (disabled by default); enable capture with SampleAll,
+// SampleRate, or SampleThreshold and read completed trees with Last.
+// See docs/observability.md ("Tracing").
+func (m *Manager) Tracer() *trace.Tracer { return m.tracer }
+
+// TraceStatement opens a root sql.stmt span and installs it as the
+// parent for maintenance entry points the statement runs, so one SQL
+// statement yields one causally complete tree. The returned func ends
+// the span and restores the previous parent; call it exactly once
+// (defer). Like all Manager writes it follows the single-writer
+// discipline — concurrent readers must not call it.
+func (m *Manager) TraceStatement(kind string) func() {
+	sp := m.tracer.StartTrace(trace.SpanSQLStmt, trace.Str("kind", kind))
+	prev := m.cur
+	m.cur = sp
+	return func() {
+		m.cur = prev
+		sp.End()
+	}
+}
+
+// CurrentSpan returns the active statement span, if any (nil when
+// tracing is off or no statement is in flight).
+func (m *Manager) CurrentSpan() *trace.Span { return m.cur }
+
+// startEntrySpan opens the span for one maintenance entry point
+// (execute, refresh, propagate, ...): a child of the active statement
+// span when one is installed, otherwise a new root trace — direct API
+// callers get one trace per maintenance transaction.
+func (m *Manager) startEntrySpan(name string, attrs ...trace.Attr) *trace.Span {
+	if m.cur != nil {
+		return m.cur.StartChild(name, attrs...)
+	}
+	return m.tracer.StartTrace(name, attrs...)
+}

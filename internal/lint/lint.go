@@ -32,6 +32,9 @@ type Config struct {
 	BagPkg     string
 	TxnPkg     string
 	StoragePkg string
+	// TracePkg is the structured-tracing package; span-discipline
+	// tracks its *Span values and skips the package itself.
+	TracePkg string
 	// OrderedPkgs are packages whose output ordering matters (they
 	// build reports, snapshots, deltas, or SQL results); map iteration
 	// feeding ordered sinks is flagged there.
@@ -52,6 +55,7 @@ func DefaultConfig() Config {
 		BagPkg:     "dvm/internal/bag",
 		TxnPkg:     "dvm/internal/txn",
 		StoragePkg: "dvm/internal/storage",
+		TracePkg:   "dvm/internal/obs/trace",
 		OrderedPkgs: []string{
 			"dvm/internal/algebra",
 			"dvm/internal/bench",
@@ -73,6 +77,7 @@ func DefaultConfig() Config {
 		DocPkgs: []string{
 			"dvm/internal/core",
 			"dvm/internal/obs",
+			"dvm/internal/obs/trace",
 			"dvm/internal/txn",
 		},
 	}
@@ -166,6 +171,7 @@ func All() []*Analyzer {
 		analyzerMapIteration,
 		analyzerDroppedError,
 		analyzerInvariantTouch,
+		analyzerSpanDiscipline,
 		analyzerDocComment,
 	}
 }

@@ -57,6 +57,11 @@ var fixtureCases = []struct {
 		},
 	},
 	{
+		dir:    "spanend",
+		checks: "span-discipline",
+		cfg:    func(c Config) Config { return c },
+	},
+	{
 		dir:    "docmiss",
 		checks: "doc-comment",
 		cfg: func(c Config) Config {

@@ -27,7 +27,12 @@ var analyzerLockDiscipline = &Analyzer{
 }
 
 func isLockAcquire(f *types.Func, txnPkg string) bool {
-	if f == nil || (f.Name() != "WithWrite" && f.Name() != "WithRead") {
+	if f == nil {
+		return false
+	}
+	// WithWrite/WithRead plus their span-threading variants
+	// (WithWriteSpan/WithReadSpan) all acquire under sorted order.
+	if !strings.HasPrefix(f.Name(), "WithWrite") && !strings.HasPrefix(f.Name(), "WithRead") {
 		return false
 	}
 	return isMethodOn(f, txnPkg, "LockManager")

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzerSpanDiscipline enforces the tracing contract of
+// internal/obs/trace: every span returned by a Start*/start* call must
+// be ended on all paths, or the trace tree it belongs to never
+// finishes and the whole transaction silently vanishes from the ring
+// buffer. A span obligation is discharged by calling End/EndExplicit
+// on it (directly, deferred, or inside a function literal), or by
+// letting the span escape — returned, passed to another call, or
+// stored — in which case the receiver inherits the obligation. The
+// trace package itself is exempt: it is the implementation being
+// disciplined, not a client.
+var analyzerSpanDiscipline = &Analyzer{
+	Name: "span-discipline",
+	Doc:  "every *trace.Span returned by a Start* call must be ended on all paths or escape",
+	Run:  runSpanDiscipline,
+}
+
+// spanObligation tracks one span-typed variable from a Start* call
+// until the analyzer decides its End obligation is met.
+type spanObligation struct {
+	obj      types.Object
+	name     string
+	startPos token.Pos
+	fn       ast.Node    // innermost enclosing function of the start call
+	ends     []token.Pos // non-deferred End/EndExplicit call positions
+	deferred bool        // some End runs under a defer
+	escaped  bool        // span left this function's hands
+}
+
+func runSpanDiscipline(p *Pass) {
+	if p.Pkg.Path == p.Cfg.TracePkg {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkSpansIn(fd, info)
+		}
+	}
+}
+
+// isSpanStart reports whether call invokes a Start*/start* function
+// whose results include a *trace.Span, and returns the result indices
+// that carry spans.
+func (p *Pass) isSpanStart(call *ast.CallExpr) []int {
+	f := CalleeOf(p.Pkg.Info, call)
+	if f == nil {
+		return nil
+	}
+	name := f.Name()
+	if !strings.HasPrefix(name, "Start") && !strings.HasPrefix(name, "start") {
+		return nil
+	}
+	t := p.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	var idx []int
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isPtrToNamed(tup.At(i).Type(), p.Cfg.TracePkg, "Span") {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	if isPtrToNamed(t, p.Cfg.TracePkg, "Span") {
+		return []int{0}
+	}
+	return nil
+}
+
+// checkSpansIn analyzes one function declaration: collects span
+// obligations from Start* calls, classifies every later use of each
+// span variable, and reports obligations left undischarged.
+func (p *Pass) checkSpansIn(fd *ast.FuncDecl, info *types.Info) {
+	var obligations []*spanObligation
+
+	// Pass 1: find Start* calls and how their results are bound. A
+	// stack of enclosing function nodes attributes each start to its
+	// innermost function (returns in outer functions don't exit it).
+	var fnStack []ast.Node
+	fnStack = append(fnStack, fd)
+	var collect func(n ast.Node)
+	collect = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m != n {
+					fnStack = append(fnStack, m)
+					collect(m.Body)
+					fnStack = fnStack[:len(fnStack)-1]
+					return false
+				}
+			case *ast.ExprStmt:
+				if call, ok := m.X.(*ast.CallExpr); ok && len(p.isSpanStart(call)) > 0 {
+					p.Reportf(call.Pos(),
+						"span returned by %s is discarded; it is never ended and its trace never finishes",
+						startName(info, call))
+				}
+			case *ast.AssignStmt:
+				if len(m.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(m.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, i := range p.isSpanStart(call) {
+					if i >= len(m.Lhs) {
+						continue
+					}
+					id, ok := m.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue // stored into a field/index: escapes
+					}
+					if id.Name == "_" {
+						p.Reportf(id.Pos(),
+							"span returned by %s is assigned to _; it is never ended",
+							startName(info, call))
+						continue
+					}
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					obligations = append(obligations, &spanObligation{
+						obj:      obj,
+						name:     id.Name,
+						startPos: call.Pos(),
+						fn:       fnStack[len(fnStack)-1],
+					})
+				}
+			}
+			return true
+		})
+	}
+	collect(fd.Body)
+	if len(obligations) == 0 {
+		return
+	}
+	byObj := map[types.Object]*spanObligation{}
+	for _, ob := range obligations {
+		byObj[ob.obj] = ob
+	}
+
+	// Pass 2: classify every use of each tracked variable, carrying the
+	// full ancestor path so defer context and argument position are
+	// visible.
+	var path []ast.Node
+	var classify func(n ast.Node)
+	classify = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				path = path[:len(path)-1]
+				return false
+			}
+			path = append(path, m)
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			ob := byObj[info.Uses[id]]
+			if ob == nil {
+				return true
+			}
+			p.classifyUse(ob, id, path)
+			return true
+		})
+	}
+	classify(fd.Body)
+
+	// Verdicts.
+	for _, ob := range obligations {
+		if ob.escaped || ob.deferred {
+			continue
+		}
+		if len(ob.ends) == 0 {
+			p.Reportf(ob.startPos, "span %s is started but never ended on any path", ob.name)
+			continue
+		}
+		firstEnd := ob.ends[0]
+		for _, e := range ob.ends {
+			if e < firstEnd {
+				firstEnd = e
+			}
+		}
+		p.checkReturnsBetween(ob, firstEnd)
+	}
+}
+
+// classifyUse decides what one appearance of a span variable means for
+// its obligation. path[len(path)-1] is the identifier itself.
+func (p *Pass) classifyUse(ob *spanObligation, id *ast.Ident, path []ast.Node) {
+	parent := path[len(path)-2]
+	switch parent := parent.(type) {
+	case *ast.SelectorExpr:
+		// Only a method *call* matters; grandparent must invoke it.
+		if len(path) >= 3 {
+			if call, ok := path[len(path)-3].(*ast.CallExpr); ok && call.Fun == parent {
+				if parent.Sel.Name == "End" || parent.Sel.Name == "EndExplicit" {
+					if underDefer(path) {
+						ob.deferred = true
+					} else {
+						ob.ends = append(ob.ends, call.Pos())
+					}
+				}
+				return // other methods (StartChild, SetAttrs, ...) are neutral
+			}
+		}
+	case *ast.CallExpr:
+		for _, arg := range parent.Args {
+			if arg == ast.Expr(id) {
+				ob.escaped = true // callee inherits the obligation
+				return
+			}
+		}
+	case *ast.ReturnStmt:
+		ob.escaped = true
+	case *ast.AssignStmt:
+		for _, r := range parent.Rhs {
+			if ast.Unparen(r) == ast.Expr(id) {
+				ob.escaped = true // aliased or stored; new holder owns it
+				return
+			}
+		}
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.ValueSpec:
+		ob.escaped = true
+	}
+}
+
+// underDefer reports whether the ancestor path passes through a defer
+// statement — either `defer sp.End()` or an End inside a deferred
+// function literal.
+func underDefer(path []ast.Node) bool {
+	for _, n := range path {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkReturnsBetween flags return statements of the span's own
+// function that occur lexically after the start and before the first
+// non-deferred End: those paths leave the span dangling.
+func (p *Pass) checkReturnsBetween(ob *spanObligation, firstEnd token.Pos) {
+	var body *ast.BlockStmt
+	switch fn := ob.fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && ob.fn != ast.Node(fl) {
+			return false // returns in nested literals don't exit ob.fn
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret.Pos() > ob.startPos && ret.Pos() < firstEnd {
+			p.Reportf(ret.Pos(),
+				"return leaves span %s unended (started at line %d, first End at line %d); end it before returning or defer the End",
+				ob.name, p.Pkg.Fset.Position(ob.startPos).Line, p.Pkg.Fset.Position(firstEnd).Line)
+		}
+		return true
+	})
+}
+
+func startName(info *types.Info, call *ast.CallExpr) string {
+	if f := CalleeOf(info, call); f != nil {
+		return f.Name()
+	}
+	return "Start*"
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -160,6 +161,19 @@ func (s Snapshot) Get(name, label string) (Metric, bool) {
 		}
 	}
 	return Metric{}, false
+}
+
+// Filter returns the snapshot restricted to metrics whose family name
+// starts with prefix (the dvmsh \stats [prefix] filter). Order is
+// preserved.
+func (s Snapshot) Filter(prefix string) Snapshot {
+	var kept []Metric
+	for _, m := range s.Metrics {
+		if strings.HasPrefix(m.Name, prefix) {
+			kept = append(kept, m)
+		}
+	}
+	return Snapshot{Metrics: kept}
 }
 
 // Family returns every metric of one family (all labels), in label

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Render returns an indented text rendering of one trace tree, the
+// format the dvmsh \trace command prints:
+//
+//	#12 spans=5 exclusive=412µs
+//	  core.refresh view=hv scenario=C [1.1ms]
+//	    txn.lock.wait mode=write tables=__mv_hv [2µs]
+//	    txn.lock.hold mode=write tables=__mv_hv [612µs]
+//	      core.refresh.apply view=hv [412µs] (exclusive)
+//
+// Attributes render in the order they were attached, so output is
+// deterministic for a given trace.
+func Render(tr *Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d spans=%d exclusive=%s\n", tr.ID, tr.Spans, time.Duration(tr.ExclusiveNs))
+	renderSpan(&b, tr.Root, 1)
+	return b.String()
+}
+
+// RenderAll renders traces in the order given, separated by blank
+// lines.
+func RenderAll(traces []*Trace) string {
+	parts := make([]string, 0, len(traces))
+	for _, tr := range traces {
+		if tr != nil {
+			parts = append(parts, Render(tr))
+		}
+	}
+	return strings.Join(parts, "\n")
+}
+
+func renderSpan(b *strings.Builder, s *Span, depth int) {
+	if s == nil {
+		return
+	}
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(s.Name)
+	for _, a := range s.Attrs {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Value())
+	}
+	fmt.Fprintf(b, " [%s]", s.Dur)
+	if s.Exclusive {
+		b.WriteString(" (exclusive)")
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		renderSpan(b, c, depth+1)
+	}
+}

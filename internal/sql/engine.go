@@ -9,6 +9,7 @@ import (
 	"dvm/internal/bag"
 	"dvm/internal/core"
 	"dvm/internal/obs"
+	"dvm/internal/obs/trace"
 	"dvm/internal/schema"
 	"dvm/internal/storage"
 	"dvm/internal/txn"
@@ -22,13 +23,40 @@ type Engine struct {
 	// viewDDL remembers each SQL-created view's statement so snapshots
 	// (SaveTo) can persist and replay the definitions.
 	viewDDL map[string]*CreateView
+	// optErr records the first EngineOption failure (see Err).
+	optErr error
+}
+
+// EngineOption configures a freshly constructed engine. LoadEngine
+// applies options before replaying the snapshot, so even the load
+// itself is observable (the tracer otherwise could not be enabled
+// until after the work it should have captured).
+type EngineOption func(*Engine)
+
+// WithTraceSpec applies a trace sampling spec ("off", "all",
+// "rate=N", "threshold=DUR"; see trace.Configure) to the engine's
+// tracer at construction time. An invalid spec is reported by Err.
+func WithTraceSpec(spec string) EngineOption {
+	return func(e *Engine) { e.optErr = trace.Configure(e.mgr.Tracer(), spec) }
 }
 
 // NewEngine creates an engine over a fresh database.
-func NewEngine() *Engine {
+func NewEngine(opts ...EngineOption) *Engine {
 	db := storage.NewDatabase()
-	return NewEngineOver(db, core.NewManager(db))
+	e := NewEngineOver(db, core.NewManager(db))
+	e.applyOptions(opts)
+	return e
 }
+
+func (e *Engine) applyOptions(opts []EngineOption) {
+	for _, o := range opts {
+		o(e)
+	}
+}
+
+// Err returns the first error an EngineOption recorded (e.g. a bad
+// trace spec), or nil.
+func (e *Engine) Err() error { return e.optErr }
 
 // NewEngineOver wraps an existing database and manager.
 func NewEngineOver(db *storage.Database, mgr *core.Manager) *Engine {
@@ -139,9 +167,11 @@ func stmtKind(st Stmt) string {
 }
 
 // ExecStmt executes a parsed statement, recording its latency as
-// sql_stmt_ns{kind}.
+// sql_stmt_ns{kind} and opening a root sql.stmt trace span that the
+// maintenance work the statement triggers parents under.
 func (e *Engine) ExecStmt(st Stmt) (*Result, error) {
 	defer obs.StartSpan(e.mgr.Obs().Histogram("sql_stmt_ns", stmtKind(st))).End()
+	defer e.mgr.TraceStatement(stmtKind(st))()
 	return e.execStmt(st)
 }
 
@@ -293,7 +323,7 @@ func (e *Engine) evalUnderViewLocks(expr algebra.Expr) (*bag.Bag, error) {
 		return algebra.Eval(expr, e.db)
 	}
 	var rows *bag.Bag
-	err := e.mgr.Locks().WithRead(mvs, func() error {
+	err := e.mgr.Locks().WithReadSpan(mvs, e.mgr.CurrentSpan(), func(*trace.Span) error {
 		var err error
 		rows, err = algebra.Eval(expr, e.db)
 		return err

@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"dvm/internal/core"
+	"dvm/internal/obs/trace"
 	"dvm/internal/storage"
 )
 
@@ -81,8 +83,10 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 
 // LoadEngine restores an engine snapshot written by SaveTo. The bytes
 // consumed are recorded as snapshot_load_bytes in the new engine's
-// registry.
-func LoadEngine(r io.Reader) (*Engine, error) {
+// registry, and — when an option enables tracing — the whole load is
+// recorded as a storage.snapshot.load trace.
+func LoadEngine(r io.Reader, opts ...EngineOption) (*Engine, error) {
+	loadStart := time.Now()
 	cr := &countingReader{r: r}
 	br := bufio.NewReader(cr)
 	var magic [4]byte
@@ -120,6 +124,10 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		return nil, err
 	}
 	e := NewEngineOver(db, core.NewManager(db))
+	e.applyOptions(opts)
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
 	for _, stmt := range ddl {
 		if _, err := e.Exec(stmt); err != nil {
 			return nil, fmt.Errorf("sql: load: replaying %q: %w", stmt, err)
@@ -127,6 +135,12 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	}
 	// Only the bytes actually consumed count (the bufio reader may have
 	// read ahead into its buffer).
-	e.mgr.Obs().Counter("snapshot_load_bytes", "").Add(cr.n - int64(br.Buffered()))
+	loaded := cr.n - int64(br.Buffered())
+	e.mgr.Obs().Counter("snapshot_load_bytes", "").Add(loaded)
+	// The tracer is born mid-load, so the load span is opened
+	// retroactively at the recorded start (covering parse + DDL replay).
+	lsp := e.mgr.Tracer().StartTraceAt(trace.SpanSnapshotLoad, loadStart,
+		trace.Int("bytes", loaded), trace.Int("views", int64(len(ddl))))
+	lsp.EndExplicit(time.Since(loadStart))
 	return e, nil
 }

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"dvm/internal/bag"
+	"dvm/internal/obs/trace"
 	"dvm/internal/schema"
 )
 
@@ -51,6 +52,11 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // snapshot_save_bytes.
 func (db *Database) Save(w io.Writer) error {
 	cw := &countingWriter{w: w}
+	sp := db.tracer.StartTrace(trace.SpanSnapshotSave)
+	defer func() {
+		sp.SetAttrs(trace.Int("bytes", cw.n), trace.Int("tables", int64(len(db.tables))))
+		sp.End()
+	}()
 	if db.metrics != nil {
 		defer func() { db.metrics.Counter("snapshot_save_bytes", "").Add(cw.n) }()
 	}

@@ -12,6 +12,7 @@ import (
 
 	"dvm/internal/bag"
 	"dvm/internal/obs"
+	"dvm/internal/obs/trace"
 	"dvm/internal/schema"
 )
 
@@ -87,6 +88,7 @@ func (t *Table) Clear() { t.data = bag.New() }
 type Database struct {
 	tables  map[string]*Table
 	metrics *obs.Registry
+	tracer  *trace.Tracer
 }
 
 // NewDatabase returns an empty database.
@@ -97,6 +99,12 @@ func NewDatabase() *Database { return &Database{tables: make(map[string]*Table)}
 // owns the registry (the sql engine), since Load constructs a fresh
 // database.
 func (db *Database) SetMetrics(r *obs.Registry) { db.metrics = r }
+
+// SetTracer attaches a tracer so Save emits a storage.snapshot.save
+// trace. Like SetMetrics, the load side is traced by the caller that
+// owns the tracer (the sql engine), since Load constructs a fresh
+// database.
+func (db *Database) SetTracer(t *trace.Tracer) { db.tracer = t }
 
 // Create adds a new table.
 func (db *Database) Create(name string, sch *schema.Schema, kind Kind) (*Table, error) {
@@ -156,6 +164,7 @@ func (db *Database) Names() []string {
 func (db *Database) Snapshot() *Database {
 	c := NewDatabase()
 	c.metrics = db.metrics
+	c.tracer = db.tracer
 	for name, t := range db.tables {
 		c.tables[name] = &Table{name: t.name, sch: t.sch, kind: t.kind, data: t.data.Clone()}
 	}

@@ -2,10 +2,12 @@ package txn
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"dvm/internal/obs"
+	"dvm/internal/obs/trace"
 )
 
 // LockStats accumulates exclusive-lock hold times for a table — the
@@ -102,21 +104,35 @@ func sortedUnique(tables []string) []string {
 // WithWrite runs f holding exclusive locks on the given tables, in
 // sorted order to avoid deadlock, recording hold time against each.
 func (lm *LockManager) WithWrite(tables []string, f func() error) error {
+	return lm.WithWriteSpan(tables, nil, func(*trace.Span) error { return f() })
+}
+
+// WithWriteSpan is WithWrite with tracing: under a non-nil parent span
+// it emits a txn.lock.wait child covering acquisition and a
+// txn.lock.hold child covering f (its duration is the same clock
+// reading recorded into lock_write_hold_ns). f receives the hold span
+// so the critical section can parent its own work under it.
+func (lm *LockManager) WithWriteSpan(tables []string, parent *trace.Span, f func(*trace.Span) error) error {
 	ts := sortedUnique(tables)
 	type held struct {
 		l *sync.RWMutex
 		s *LockStats
 		h *lockHists
 	}
+	attrs := []trace.Attr{trace.Str("mode", "write"), trace.Str("tables", strings.Join(ts, ","))}
+	wait := parent.StartChild(trace.SpanLockWait, attrs...)
 	hs := make([]held, len(ts))
 	for i, t := range ts {
 		l, s, h := lm.lockFor(t)
 		l.Lock()
 		hs[i] = held{l: l, s: s, h: h}
 	}
+	wait.End()
+	hold := parent.StartChild(trace.SpanLockHold, attrs...)
 	start := lm.clock()
-	err := f()
+	err := f(hold)
 	elapsed := lm.clock().Sub(start)
+	hold.EndExplicit(elapsed)
 	lm.mu.Lock()
 	for _, h := range hs {
 		h.s.WriteHolds++
@@ -140,6 +156,15 @@ func (lm *LockManager) WithWrite(tables []string, f func() error) error {
 // WithRead runs f holding shared locks on the given tables, recording
 // how long acquisition blocked (time spent waiting behind refreshes).
 func (lm *LockManager) WithRead(tables []string, f func() error) error {
+	return lm.WithReadSpan(tables, nil, func(*trace.Span) error { return f() })
+}
+
+// WithReadSpan is WithRead with tracing: under a non-nil parent span
+// it emits a txn.lock.wait child covering the (possibly blocking)
+// shared acquisitions and a txn.lock.hold child covering f. The wait
+// span's duration is the reader-observed view downtime of this
+// acquisition.
+func (lm *LockManager) WithReadSpan(tables []string, parent *trace.Span, f func(*trace.Span) error) error {
 	ts := sortedUnique(tables)
 	locks := make([]*sync.RWMutex, len(ts))
 	stats := make([]*LockStats, len(ts))
@@ -147,10 +172,14 @@ func (lm *LockManager) WithRead(tables []string, f func() error) error {
 	for i, t := range ts {
 		locks[i], stats[i], hists[i] = lm.lockFor(t)
 	}
+	attrs := []trace.Attr{trace.Str("mode", "read"), trace.Str("tables", strings.Join(ts, ","))}
+	wait := parent.StartChild(trace.SpanLockWait, attrs...)
+	var totalWait time.Duration
 	for i, l := range locks {
 		start := lm.clock()
 		l.RLock()
 		waited := lm.clock().Sub(start)
+		totalWait += waited
 		lm.mu.Lock()
 		stats[i].ReadWaits++
 		stats[i].ReadWaitTime += waited
@@ -162,7 +191,10 @@ func (lm *LockManager) WithRead(tables []string, f func() error) error {
 			hists[i].readWait.Observe(int64(waited))
 		}
 	}
-	err := f()
+	wait.EndExplicit(totalWait)
+	hold := parent.StartChild(trace.SpanLockHold, attrs...)
+	err := f(hold)
+	hold.End()
 	for i := len(locks) - 1; i >= 0; i-- {
 		locks[i].RUnlock()
 	}

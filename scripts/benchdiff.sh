@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# benchdiff.sh — downtime-regression guard (see docs/observability.md).
+#
+# Runs a fresh `dvmbench -json` and compares every view-downtime phase
+# against the newest BENCH_*.json baseline in the repo root. Fails
+# (exit 1) when any downtime phase's max regressed more than 2x; both
+# sides under the noise floor are ignored. With no baseline captured
+# yet there is nothing to compare against, so the script exits 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+latest=""
+for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    latest="$f"
+done
+if [ -z "$latest" ]; then
+    echo "benchdiff: no BENCH_*.json baseline found; skipping"
+    exit 0
+fi
+
+echo "benchdiff: comparing fresh run against $latest"
+go run ./cmd/dvmbench -json -diff "$latest" > /dev/null

@@ -23,6 +23,14 @@ go run ./cmd/doccheck
 echo "== go test -race"
 go test -race ./...
 
+# Optional: downtime-regression guard against the newest BENCH_*.json
+# baseline. Off by default because a full dvmbench run takes minutes;
+# opt in with BENCHDIFF=1 make check.
+if [ "${BENCHDIFF:-0}" = "1" ]; then
+    echo "== benchdiff"
+    ./scripts/benchdiff.sh
+fi
+
 echo "== fuzz (bounded)"
 go test ./internal/algebra -run '^$' -fuzz '^FuzzExprParseEval$' -fuzztime=10s
 go test ./internal/bag -run '^$' -fuzz '^FuzzBagOps$' -fuzztime=10s
