@@ -1,12 +1,18 @@
 // Command dvmlint runs the repo-specific static-analysis suite over
-// the module: lock-discipline, bag-mutation, nondeterministic-
-// iteration, dropped-error, and invariant-touch (see
-// docs/static-analysis.md). It prints one "file:line:col: [check]
-// message" per finding and exits non-zero if any survive suppression.
+// the module: intraprocedural checks (lock-discipline, bag-mutation,
+// nondeterministic-iteration, dropped-error, invariant-touch,
+// span-discipline, doc-comment) plus the interprocedural ones built on
+// the whole-module call graph (lock-order, locked-contract, state-bug)
+// — see docs/static-analysis.md. It prints one "file:line:col: [check]
+// message" per finding, or a JSON array with -json.
 //
 // Usage:
 //
-//	dvmlint [-checks check1,check2] [./...]
+//	dvmlint [-checks check1,check2] [-json] [./...]
+//
+// Exit codes: 0 = clean, 1 = findings survived suppression, 2 = the
+// package set failed to load or type-check (or the flags were invalid),
+// so CI can distinguish lint findings from a broken build.
 //
 // Package patterns are accepted for command-line compatibility but the
 // whole module containing the working directory is always analyzed —
@@ -17,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -24,47 +31,69 @@ import (
 )
 
 func main() {
-	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
-	list := flag.Bool("list", false, "list available checks and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses flags, analyzes the
+// module containing the current directory, renders findings to stdout,
+// and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dvmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (stable field names, position-sorted)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-28s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-28s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers, err := lint.Select(*checks)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	loader, err := lint.NewLoader(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	findings := lint.RunAnalyzers(pkgs, analyzers, lint.DefaultConfig())
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		name := f.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil {
-				name = rel
-			}
+	for i := range findings {
+		if cwd == "" {
+			break
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+		if rel, err := filepath.Rel(cwd, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = rel
+		}
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "dvmlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "dvmlint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
 }

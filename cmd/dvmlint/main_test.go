@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// chdir moves the process into dir for the duration of the test.
+// (os.Chdir rather than t.Chdir: the module's language level predates
+// the latter.)
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// writeModule lays out a throwaway single-package module.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestExitCodeClean: a module with nothing to report exits 0.
+func TestExitCodeClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"clean.go": "package tmpmod\n\nfunc F() int { return 1 }\n",
+	})
+	chdir(t, dir)
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d (stderr %q); want 0", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run printed findings: %q", out.String())
+	}
+}
+
+// TestExitCodeFindings: surviving findings exit 1, and -json renders
+// them as a parseable array.
+func TestExitCodeFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"leaky.go": "package tmpmod\n\nimport \"os\"\n\nfunc F() {\n\tos.Remove(\"x\")\n}\n",
+	})
+	chdir(t, dir)
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d (stdout %q, stderr %q); want 1", code, out.String(), errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-json"}, &out, &errb); code != 1 {
+		t.Fatalf("-json exit = %d; want 1", code)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json output is empty; want the dropped-error finding")
+	}
+	if findings[0]["check"] != "dropped-error" {
+		t.Fatalf("finding check = %v; want dropped-error", findings[0]["check"])
+	}
+}
+
+// TestExitCodeLoadFailure: a package that fails to parse or type-check
+// exits 2, distinct from lint findings, so CI never mistakes a broken
+// build for a clean one.
+func TestExitCodeLoadFailure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"broken.go": "package tmpmod\n\nfunc F( {\n",
+	})
+	chdir(t, dir)
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d; want 2 for a load failure", code)
+	}
+	if errb.Len() == 0 {
+		t.Fatal("load failure reported nothing on stderr")
+	}
+}
+
+// TestExitCodeBadFlags: unknown checks and unparseable flags exit 2.
+func TestExitCodeBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-checks", "no-such-check"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown check exit = %d; want 2", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit = %d; want 2", code)
+	}
+}
+
+// TestDvmlintWallClock guards the tier-1 gate's usability: the full
+// suite — interprocedural passes included — must finish over the whole
+// module within a generous bound.
+func TestDvmlintWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock guard skipped in -short mode")
+	}
+	chdir(t, filepath.Join("..", ".."))
+	start := time.Now()
+	code := run(nil, io.Discard, io.Discard)
+	elapsed := time.Since(start)
+	if code != 0 {
+		t.Fatalf("dvmlint over the module exited %d; want 0", code)
+	}
+	const bound = 120 * time.Second
+	if elapsed > bound {
+		t.Fatalf("dvmlint over the module took %s, over the %s bound; the interprocedural layer is too slow for the tier-1 gate", elapsed, bound)
+	}
+	t.Logf("full-suite run over the module: %s", elapsed)
+}

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is the machine-readable shape of one finding. The field
+// names are a stable public contract for CI and editor integrations;
+// changing them breaks consumers, so they are pinned by a golden test.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// WriteJSON renders findings as an indented JSON array in the order
+// given (RunAnalyzers already sorts by position). An empty findings
+// slice renders as [], never null, so consumers can range unguarded.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Check:   f.Check,
+			Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one diagnostic: a position, the analyzer that produced
@@ -90,9 +91,33 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
+// Unit is the whole-program view one RunAnalyzers invocation shares
+// across its per-package passes: every loaded package, plus lazily
+// computed interprocedural facts (the call graph of callgraph.go, the
+// lock-state fixpoint of lockstate.go, and the state-bug write
+// summaries). Interprocedural analyzers compute over the Unit once and
+// report, from each per-package pass, only the findings positioned in
+// that pass's package.
+type Unit struct {
+	Pkgs []*Package
+	Cfg  Config
+
+	declOnce  sync.Once
+	decls     map[*types.Func]*declInfo
+	declList  []*declInfo // decls in deterministic (position) order
+	addrTaken map[*types.Func]bool
+
+	lockOnce sync.Once
+	lock     *lockResult
+
+	writeMu   sync.Mutex
+	writeSums map[*types.Func]map[string]token.Pos
+}
+
 // Pass is one analyzer's view of one package.
 type Pass struct {
 	Pkg      *Package
+	Unit     *Unit
 	Cfg      Config
 	check    string
 	findings *[]Finding
@@ -167,6 +192,9 @@ func isPtrToNamed(t types.Type, pkgPath, typeName string) bool {
 func All() []*Analyzer {
 	return []*Analyzer{
 		analyzerLockDiscipline,
+		analyzerLockOrder,
+		analyzerLockedContract,
+		analyzerStateBug,
 		analyzerBagMutation,
 		analyzerMapIteration,
 		analyzerDroppedError,
@@ -202,6 +230,7 @@ type suppression struct {
 	pos    token.Position
 	checks map[string]bool
 	reason string
+	used   bool // matched at least one raw finding this run
 }
 
 const ignorePrefix = "//dvmlint:ignore"
@@ -211,8 +240,8 @@ const ignorePrefix = "//dvmlint:ignore"
 // (i.e. it may sit on the offending line or immediately above it).
 // Syntax: //dvmlint:ignore check[,check...] reason text. A missing
 // reason or an unknown check name is itself reported.
-func collectSuppressions(pkg *Package, known map[string]bool, findings *[]Finding) map[string][]suppression {
-	out := map[string][]suppression{}
+func collectSuppressions(pkg *Package, known map[string]bool, findings *[]Finding) map[string][]*suppression {
+	out := map[string][]*suppression{}
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -246,7 +275,7 @@ func collectSuppressions(pkg *Package, known map[string]bool, findings *[]Findin
 				if bad && len(checks) == 0 {
 					continue
 				}
-				out[pos.Filename] = append(out[pos.Filename], suppression{
+				out[pos.Filename] = append(out[pos.Filename], &suppression{
 					pos:    pos,
 					checks: checks,
 					reason: strings.Join(fields[1:], " "),
@@ -259,21 +288,50 @@ func collectSuppressions(pkg *Package, known map[string]bool, findings *[]Findin
 
 // RunAnalyzers runs each analyzer over each package, applies
 // suppressions, and returns the surviving findings sorted by position.
+// A //dvmlint:ignore suppression that matches no finding is itself
+// reported as stale, provided every check it names was part of this
+// run (a partial -checks run cannot judge the others' suppressions).
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Finding {
 	known := map[string]bool{}
 	for _, a := range All() {
 		known[a.Name] = true
 	}
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+	unit := &Unit{Pkgs: pkgs, Cfg: cfg}
 	var findings []Finding
 	for _, pkg := range pkgs {
 		var raw []Finding
 		sups := collectSuppressions(pkg, known, &findings)
 		for _, a := range analyzers {
-			a.Run(&Pass{Pkg: pkg, Cfg: cfg, check: a.Name, findings: &raw})
+			a.Run(&Pass{Pkg: pkg, Unit: unit, Cfg: cfg, check: a.Name, findings: &raw})
 		}
 		for _, f := range raw {
 			if !suppressed(f, sups) {
 				findings = append(findings, f)
+			}
+		}
+		for _, file := range sups {
+			for _, s := range file {
+				if s.used {
+					continue
+				}
+				all := true
+				var names []string
+				for n := range s.checks {
+					names = append(names, n)
+					if !selected[n] {
+						all = false
+					}
+				}
+				if !all {
+					continue
+				}
+				sort.Strings(names)
+				findings = append(findings, Finding{Pos: s.pos, Check: "dvmlint",
+					Message: fmt.Sprintf("suppression for %s matches no finding; stale suppressions must be removed", strings.Join(names, ","))})
 			}
 		}
 	}
@@ -293,12 +351,13 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Finding 
 	return findings
 }
 
-func suppressed(f Finding, sups map[string][]suppression) bool {
+func suppressed(f Finding, sups map[string][]*suppression) bool {
 	for _, s := range sups[f.Pos.Filename] {
 		if !s.checks[f.Check] {
 			continue
 		}
 		if s.pos.Line == f.Pos.Line || s.pos.Line == f.Pos.Line-1 {
+			s.used = true
 			return true
 		}
 	}

@@ -30,6 +30,31 @@ var fixtureCases = []struct {
 		},
 	},
 	{
+		dir:    "lockcycle",
+		checks: "lock-order",
+		cfg:    func(c Config) Config { return c },
+	},
+	{
+		dir:    "lockedctx",
+		checks: "locked-contract",
+		cfg: func(c Config) Config {
+			c.CorePkg = fixturePrefix + "lockedctx"
+			return c
+		},
+	},
+	{
+		dir:    "statebug",
+		checks: "state-bug",
+		cfg: func(c Config) Config {
+			c.CorePkg = fixturePrefix + "statebug"
+			c.Blessed = []string{
+				"RefreshThenRead", "ReadThenRefresh", "HelperThenRead",
+				"DataAfterAdd", "SymbolicThenRead", "DifferentTables",
+			}
+			return c
+		},
+	},
+	{
 		dir:    "bagmut",
 		checks: "bag-mutation",
 		cfg:    func(c Config) Config { return c },

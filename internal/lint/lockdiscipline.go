@@ -7,22 +7,22 @@ import (
 	"strings"
 )
 
-// analyzerLockDiscipline enforces the deadlock-freedom discipline of
-// txn.LockManager (the invariant behind "view downtime" measurement,
-// paper Section 1.1/Figure 3 refresh transactions):
+// analyzerLockDiscipline enforces the source-level half of the
+// deadlock-freedom discipline of txn.LockManager (the invariant behind
+// "view downtime" measurement, paper Section 1.1/Figure 3 refresh
+// transactions): multi-table WithWrite/WithRead call sites whose table
+// list is a literal of string constants must list the tables in sorted
+// order with no duplicates. The manager sorts at runtime, but a
+// mis-ordered literal is how a future "optimized" direct-locking path
+// inherits a deadlock, so the source convention is enforced.
 //
-//  1. Multi-table WithWrite/WithRead call sites whose table list is a
-//     literal of string constants must list the tables in sorted order
-//     with no duplicates. The manager sorts at runtime, but a
-//     mis-ordered literal is how a future "optimized" direct-locking
-//     path inherits a deadlock, so the source convention is enforced.
-//  2. Functions in the core package whose name ends in "Locked"
-//     declare "caller must hold the relevant table locks". They may
-//     only be called from inside a function literal passed to
-//     WithWrite/WithRead, or from another *Locked function.
+// The caller-side *Locked contract this analyzer used to check with a
+// lexical heuristic is now enforced interprocedurally by
+// locked-contract (lockedcontract.go), and cross-call-path acquisition
+// ordering by lock-order (lockorder.go).
 var analyzerLockDiscipline = &Analyzer{
 	Name: "lock-discipline",
-	Doc:  "LockManager tables sorted at literal call sites; *Locked helpers called only under locks",
+	Doc:  "LockManager lock-set literals sorted and duplicate-free at call sites",
 	Run:  runLockDiscipline,
 }
 
@@ -40,59 +40,17 @@ func isLockAcquire(f *types.Func, txnPkg string) bool {
 
 func runLockDiscipline(p *Pass) {
 	info := p.Pkg.Info
-
-	// lockedLits: function literals passed to WithWrite/WithRead.
-	lockedLits := map[*ast.FuncLit]bool{}
 	for _, file := range p.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			if !isLockAcquire(CalleeOf(info, call), p.Cfg.TxnPkg) {
-				return true
-			}
-			p.checkSortedTables(call)
-			for _, arg := range call.Args {
-				if fl, ok := arg.(*ast.FuncLit); ok {
-					lockedLits[fl] = true
-				}
+			if isLockAcquire(CalleeOf(info, call), p.Cfg.TxnPkg) {
+				p.checkSortedTables(call)
 			}
 			return true
 		})
-	}
-
-	// Calls to core *Locked helpers must occur in a locked context.
-	for _, file := range p.Pkg.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			callerLocked := strings.HasSuffix(fd.Name.Name, "Locked")
-			var walk func(n ast.Node, locked bool)
-			walk = func(n ast.Node, locked bool) {
-				ast.Inspect(n, func(m ast.Node) bool {
-					switch m := m.(type) {
-					case *ast.FuncLit:
-						if m != n { // recurse with updated context
-							walk(m.Body, locked || lockedLits[m])
-							return false
-						}
-					case *ast.CallExpr:
-						f := CalleeOf(info, m)
-						if f != nil && strings.HasSuffix(f.Name(), "Locked") &&
-							f.Pkg() != nil && f.Pkg().Path() == p.Cfg.CorePkg && !locked {
-							p.Reportf(m.Pos(),
-								"%s requires the table locks (name ends in Locked) but is called outside WithWrite/WithRead",
-								f.Name())
-						}
-					}
-					return true
-				})
-			}
-			walk(fd.Body, callerLocked)
-		}
 	}
 }
 

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"sort"
+	"strconv"
+)
+
+// analyzerLockOrder builds the global lock-acquisition-order graph from
+// the lock-state fixpoint (lockstate.go): an edge A→B means some call
+// path acquires B while holding A. Three things are flagged:
+//
+//   - an edge between two constant table names that inverts their
+//     sorted order: txn.LockManager acquires each lock *set* in sorted
+//     order, so nested acquisitions must respect the same global order
+//     or two transactions can deadlock against each other;
+//   - any edge that closes a cycle in the graph (A→…→A), the classic
+//     deadlock shape, reported whether or not the names are constants;
+//   - re-acquiring a lock already held on the same call path:
+//     LockManager's RWMutexes are not reentrant, so this self-deadlocks
+//     outright.
+var analyzerLockOrder = &Analyzer{
+	Name: "lock-order",
+	Doc:  "global lock-acquisition-order graph free of sorted-order inversions and deadlock cycles",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(p *Pass) {
+	res := p.Unit.lockAnalysis()
+
+	// Adjacency over every edge in the module, not just this package:
+	// a cycle is a whole-program property even though each edge is
+	// reported in the package that contains it.
+	adj := map[string]map[string]bool{}
+	for _, e := range res.edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			for m := range adj[n] {
+				stack = append(stack, m)
+			}
+		}
+		return false
+	}
+
+	edges := make([]orderEdge, 0, len(res.edges))
+	for _, e := range res.edges {
+		if e.pkg == p.Pkg {
+			edges = append(edges, e)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+	for _, e := range edges {
+		if !e.fromSym && !e.toSym {
+			from, _ := strconv.Unquote(e.from)
+			to, _ := strconv.Unquote(e.to)
+			if to < from {
+				p.Reportf(e.pos,
+					"acquires lock %s while holding %s, inverting the sorted acquisition order LockManager relies on for deadlock freedom",
+					e.to, e.from)
+			}
+		}
+		if reaches(e.to, e.from) {
+			p.Reportf(e.pos,
+				"acquisition edge %s -> %s closes a cycle in the global lock-order graph (potential deadlock)",
+				e.from, e.to)
+		}
+	}
+
+	for _, f := range res.self {
+		if f.pkg == p.Pkg {
+			p.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+}

@@ -55,3 +55,10 @@ func UnknownCheck(f *os.File) error {
 	//dvmlint:ignore no-such-check because I said so
 	return f.Close()
 }
+
+// Stale carries a suppression that matches no finding: the suppression
+// itself is reported as stale.
+func Stale(f *os.File) {
+	//dvmlint:ignore dropped-error the discard below is already explicit
+	_ = f.Close() // want: stale suppression
+}

@@ -1,0 +1,49 @@
+// Package lockcycle is a dvmlint fixture for the lock-order analyzer:
+// a seeded two-lock deadlock cycle split across helper functions, a
+// non-reentrant self-reacquisition, and a clean sorted-order nesting.
+package lockcycle
+
+import "dvm/internal/txn"
+
+// LockAlphaThenBeta holds alpha while a helper acquires beta.
+func LockAlphaThenBeta(lm *txn.LockManager) error {
+	return lm.WithWrite([]string{"alpha"}, func() error {
+		return acquireBeta(lm)
+	})
+}
+
+// acquireBeta takes beta; reached with alpha held, this is the
+// alpha -> beta half of the cycle.
+func acquireBeta(lm *txn.LockManager) error {
+	return lm.WithWrite([]string{"beta"}, func() error { return nil }) // want: cycle edge
+}
+
+// LockBetaThenAlpha holds beta while a helper acquires alpha — the
+// opposing order.
+func LockBetaThenAlpha(lm *txn.LockManager) error {
+	return lm.WithWrite([]string{"beta"}, func() error {
+		return acquireAlpha(lm)
+	})
+}
+
+// acquireAlpha takes alpha; reached with beta held, this both inverts
+// the sorted order and closes the cycle.
+func acquireAlpha(lm *txn.LockManager) error {
+	return lm.WithWrite([]string{"alpha"}, func() error { return nil }) // want: inversion + cycle edge
+}
+
+// Reacquire takes gamma while already holding it: LockManager mutexes
+// are not reentrant, so this deadlocks on itself.
+func Reacquire(lm *txn.LockManager) error {
+	return lm.WithWrite([]string{"gamma"}, func() error {
+		return lm.WithRead([]string{"gamma"}, func() error { return nil }) // want: self-reacquisition
+	})
+}
+
+// NestedSorted nests acquisitions in sorted order with no opposing
+// path: clean.
+func NestedSorted(lm *txn.LockManager) error {
+	return lm.WithWrite([]string{"t1"}, func() error {
+		return lm.WithWrite([]string{"t2"}, func() error { return nil })
+	})
+}

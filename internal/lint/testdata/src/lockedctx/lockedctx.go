@@ -1,0 +1,59 @@
+// Package lockedctx is a dvmlint fixture for the locked-contract
+// analyzer. The test configures this package as the core package, so
+// its *Locked functions carry the caller-must-hold-locks contract.
+package lockedctx
+
+import "dvm/internal/txn"
+
+// applyLocked declares (by suffix) that its caller holds table locks.
+func applyLocked() {}
+
+// Unlocked calls the helper with no lock provable on any path.
+func Unlocked() {
+	applyLocked() // want: no lock provably held
+}
+
+// UnderLock calls the helper from inside a WithWrite closure, and
+// delegates to a plain helper whose every call site is locked.
+func UnderLock(lm *txn.LockManager) error {
+	return lm.WithWrite([]string{"mv_a"}, func() error {
+		applyLocked()
+		alwaysUnderLock()
+		return nil
+	})
+}
+
+// alwaysUnderLock has no Locked suffix, but dataflow proves every call
+// site holds a lock, so its *Locked call is clean — the interprocedural
+// improvement over the old lexical heuristic.
+func alwaysUnderLock() {
+	applyLocked()
+}
+
+// chainLocked is itself *Locked: its body holds the locks by contract.
+func chainLocked() {
+	applyLocked()
+}
+
+// sharedHelper is called both with and without locks, so the
+// *Locked call inside it is not provably safe.
+func sharedHelper() {
+	applyLocked() // want: reachable from an unlocked call site
+}
+
+// Mixed provides sharedHelper's unlocked and locked call sites.
+func Mixed(lm *txn.LockManager) error {
+	sharedHelper()
+	return lm.WithRead([]string{"mv_a"}, func() error {
+		sharedHelper()
+		return nil
+	})
+}
+
+// Entry gives chainLocked a properly locked call site.
+func Entry(lm *txn.LockManager) error {
+	return lm.WithWrite([]string{"mv_a"}, func() error {
+		chainLocked()
+		return nil
+	})
+}

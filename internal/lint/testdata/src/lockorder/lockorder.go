@@ -1,5 +1,5 @@
 // Package lockorder is a dvmlint fixture for the lock-discipline
-// analyzer. The test configures this package as the core package.
+// analyzer (sorted, duplicate-free lock-set literals).
 package lockorder
 
 import "dvm/internal/txn"
@@ -22,25 +22,4 @@ func Good(lm *txn.LockManager) error {
 // Dynamic lock sets are sorted at runtime; not checked.
 func Dynamic(lm *txn.LockManager, tables []string) error {
 	return lm.WithWrite(tables, func() error { return nil })
-}
-
-// applyLocked declares (by suffix) that its caller holds table locks.
-func applyLocked() {}
-
-// Unlocked calls a *Locked helper outside any lock scope.
-func Unlocked() {
-	applyLocked() // want: locked helper outside WithWrite/WithRead
-}
-
-// UnderLock calls the helper from inside a WithWrite closure.
-func UnderLock(lm *txn.LockManager) error {
-	return lm.WithWrite([]string{"mv_a"}, func() error {
-		applyLocked()
-		return nil
-	})
-}
-
-// chainLocked may call other *Locked helpers: its own caller vouches.
-func chainLocked() {
-	applyLocked()
 }

@@ -15,7 +15,12 @@ echo "== go vet"
 go vet ./...
 
 echo "== dvmlint"
+# Timed: the interprocedural passes (lock-order, locked-contract,
+# state-bug) run a whole-module fixpoint; TestDvmlintWallClock bounds
+# this, and the wall clock here makes creep visible in CI logs.
+dvmlint_start=$(date +%s)
 go run ./cmd/dvmlint ./...
+echo "   dvmlint wall clock: $(( $(date +%s) - dvmlint_start ))s"
 
 echo "== doccheck (README.md docs/*.md)"
 go run ./cmd/doccheck
