@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint doccheck check fuzz benchdiff
+.PHONY: build test lint lint-json doccheck check fuzz benchdiff
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,15 @@ test:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dvmlint ./...
+
+# Machine-readable findings for CI artifacts and editor integrations.
+# Exit 1 (findings) still writes the array, so only a broken build
+# (exit 2) fails the target; dvmlint.json is untracked output.
+lint-json:
+	$(GO) run ./cmd/dvmlint -json ./... > dvmlint.json; \
+	status=$$?; \
+	if [ $$status -eq 2 ]; then cat dvmlint.json; exit 2; fi; \
+	echo "dvmlint.json written ($$status findings-exit)"
 
 # Resolve every file:line anchor and relative link in the docs.
 doccheck:

@@ -71,15 +71,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings := lint.RunAnalyzers(pkgs, analyzers, lint.DefaultConfig())
+	all := lint.RunAnalyzers(pkgs, analyzers, lint.DefaultConfig())
 	cwd, _ := os.Getwd()
-	for i := range findings {
-		if cwd == "" {
-			break
+	var findings []lint.Finding
+	for _, f := range all {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil {
+				f.Pos.Filename = rel
+			}
 		}
-		if rel, err := filepath.Rel(cwd, findings[i].Pos.Filename); err == nil {
-			findings[i].Pos.Filename = rel
+		// Warnings (e.g. a suppression naming an unknown check) go to
+		// stderr and never affect the exit code or the JSON contract.
+		if f.Warning {
+			fmt.Fprintf(stderr, "%s:%d:%d: [%s] warning: %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+			continue
 		}
+		findings = append(findings, f)
 	}
 	if *jsonOut {
 		if err := lint.WriteJSON(stdout, findings); err != nil {

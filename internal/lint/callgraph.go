@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 )
@@ -131,11 +132,342 @@ func (u *Unit) dynamicTargets(pkg *Package, call *ast.CallExpr) []*declInfo {
 			continue
 		}
 		fsig, ok := di.fn.Type().(*types.Signature)
-		if ok && sameSignature(fsig, sig) {
+		if ok && (sameSignature(fsig, sig) || methodExprMatches(fsig, sig)) {
 			out = append(out, di)
 		}
 	}
 	return out
+}
+
+// edgeKind classifies how a call edge transfers control. The lock-state
+// interpreter keys its transfer function on this: EdgeCall and
+// EdgeDefer run in the caller's context (defers inside a critical
+// section fire before the locks release), while EdgeGo and EdgeGoValue
+// run in a fresh goroutine that inherits none of the caller's lock
+// facts.
+type edgeKind uint8
+
+// Call-edge kinds.
+const (
+	edgeCall    edgeKind = iota // plain static call
+	edgeDefer                   // deferred call
+	edgeGo                      // direct `go f(...)`
+	edgeDynamic                 // through an interface or function value
+	edgeGoValue                 // `go` through a function value or interface
+)
+
+func (k edgeKind) String() string {
+	switch k {
+	case edgeCall:
+		return "call"
+	case edgeDefer:
+		return "defer"
+	case edgeGo:
+		return "go"
+	case edgeDynamic:
+		return "dynamic"
+	case edgeGoValue:
+		return "go-dynamic"
+	}
+	return "?"
+}
+
+// callEdge is one resolved call edge of the module graph: caller's
+// declaration, callee's declaration, and the kind of transfer.
+type callEdge struct {
+	caller *declInfo
+	callee *declInfo
+	kind   edgeKind
+	pos    token.Pos
+}
+
+// ensureEdges builds the kinded whole-module edge list once per Unit.
+// Static callees resolve through go/types; calls with no static callee
+// resolve through dynamicTargets. `go` and `defer` statements tag their
+// call with the matching kind, including dynamic spawns.
+func (u *Unit) ensureEdges() {
+	u.edgeOnce.Do(func() {
+		u.ensureDecls()
+		for _, di := range u.declList {
+			caller := di
+			info := di.pkg.Info
+			// Pre-claim the call expressions owned by go/defer statements
+			// so the generic CallExpr case does not re-add them.
+			claimed := map[*ast.CallExpr]edgeKind{}
+			ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					claimed[n.Call] = edgeGo
+				case *ast.DeferStmt:
+					claimed[n.Call] = edgeDefer
+				}
+				return true
+			})
+			ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				kind, special := claimed[call]
+				if !special {
+					kind = edgeCall
+				}
+				if f := CalleeOf(info, call); f != nil {
+					if callee := u.decls[f]; callee != nil {
+						u.edges = append(u.edges, callEdge{caller: caller, callee: callee, kind: kind, pos: call.Pos()})
+					}
+					return true
+				}
+				dyn := edgeDynamic
+				if kind == edgeGo {
+					dyn = edgeGoValue
+				}
+				for _, callee := range u.dynamicTargets(di.pkg, call) {
+					u.edges = append(u.edges, callEdge{caller: caller, callee: callee, kind: dyn, pos: call.Pos()})
+				}
+				return true
+			})
+		}
+		sort.Slice(u.edges, func(i, j int) bool { return u.edges[i].pos < u.edges[j].pos })
+	})
+}
+
+// edgesFrom returns the outgoing kinded edges of fn, in position order.
+func (u *Unit) edgesFrom(fn *types.Func) []callEdge {
+	u.ensureEdges()
+	var out []callEdge
+	for _, e := range u.edges {
+		if e.caller.fn == fn {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ensureSpawnParams computes, per declared function, which parameter
+// indices are "spawning": a function value bound to that parameter is
+// (transitively) launched in a goroutine by the callee — the
+// worker/pool-helper shape `func Submit(fn func()) { go fn() }`. The
+// lock-state interpreter treats an argument handed to a spawning
+// parameter exactly like the function operand of a `go` statement: no
+// lock facts transfer into it.
+//
+// Derivation is local and conservative: a parameter reaches a `go`
+// statement if the spawned function value is the parameter itself, an
+// element of it (indexing or ranging over a variadic/slice parameter),
+// or a local variable assigned from one of those; and spawning
+// propagates through static calls that pass a parameter onward to
+// another spawning parameter.
+func (u *Unit) ensureSpawnParams() {
+	u.spawnParamOnce.Do(func() {
+		u.ensureDecls()
+		u.spawnParams = map[*types.Func]map[int]bool{}
+		for changed := true; changed; {
+			changed = false
+			for _, di := range u.declList {
+				if u.spawnScan(di) {
+					changed = true
+				}
+			}
+		}
+	})
+}
+
+// spawnScan runs one propagation step over di's body; it reports
+// whether a new spawning parameter was discovered.
+func (u *Unit) spawnScan(di *declInfo) bool {
+	info := di.pkg.Info
+	sig, ok := di.fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	paramIndex := map[types.Object]int{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramIndex[sig.Params().At(i)] = i
+	}
+	// derived maps a local object to the parameter index it aliases.
+	derived := map[types.Object]int{}
+	resolve := func(e ast.Expr) (int, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				return 0, false
+			}
+			if i, ok := paramIndex[obj]; ok {
+				return i, true
+			}
+			if i, ok := derived[obj]; ok {
+				return i, true
+			}
+		case *ast.IndexExpr:
+			return resolveSpawnOperand(info, e.X, paramIndex, derived)
+		}
+		return 0, false
+	}
+	// Fixpoint over local derivations (range vars, aliases); bodies are
+	// small, so a simple loop suffices.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if i, ok := resolve(n.X); ok {
+					if id, isID := n.Value.(*ast.Ident); isID {
+						if obj := info.Defs[id]; obj != nil {
+							if _, seen := derived[obj]; !seen {
+								derived[obj] = i
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for k := range n.Lhs {
+					i, ok := resolve(n.Rhs[k])
+					if !ok {
+						continue
+					}
+					id, isID := n.Lhs[k].(*ast.Ident)
+					if !isID {
+						continue
+					}
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil {
+						if _, seen := derived[obj]; !seen {
+							derived[obj] = i
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	grew := false
+	mark := func(i int) {
+		set := u.spawnParams[di.fn]
+		if set == nil {
+			set = map[int]bool{}
+			u.spawnParams[di.fn] = set
+		}
+		if !set[i] {
+			set[i] = true
+			grew = true
+		}
+	}
+	ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if i, ok := resolve(n.Call.Fun); ok {
+				mark(i)
+			}
+		case *ast.CallExpr:
+			f := CalleeOf(info, n)
+			if f == nil {
+				return true
+			}
+			for argIdx, arg := range n.Args {
+				i, ok := resolve(arg)
+				if !ok {
+					continue
+				}
+				if _, ok := u.spawnParamAt(f, argIdx, len(n.Args)); ok {
+					mark(i)
+				}
+			}
+		}
+		return true
+	})
+	return grew
+}
+
+// resolveSpawnOperand resolves the base of an index expression to a
+// parameter or derived index.
+func resolveSpawnOperand(info *types.Info, e ast.Expr, paramIndex, derived map[types.Object]int) (int, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return 0, false
+	}
+	if i, ok := paramIndex[obj]; ok {
+		return i, true
+	}
+	if i, ok := derived[obj]; ok {
+		return i, true
+	}
+	return 0, false
+}
+
+// spawnParamAt maps an argument position of a call to f onto f's
+// parameter index (folding variadic tails) and reports whether that
+// parameter is spawning. Only meaningful after ensureSpawnParams; the
+// bool result is false when f takes no spawning parameter there.
+func (u *Unit) spawnParamAt(f *types.Func, argIdx, nargs int) (int, bool) {
+	set := u.spawnParams[f]
+	if len(set) == 0 {
+		return -1, false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return -1, false
+	}
+	pi := argIdx
+	if sig.Variadic() && argIdx >= sig.Params().Len()-1 {
+		pi = sig.Params().Len() - 1
+	}
+	if set[pi] {
+		return pi, true
+	}
+	return -1, false
+}
+
+// spawningArgs returns the arguments of call (a static call to f) that
+// land on spawning parameters of f.
+func (u *Unit) spawningArgs(f *types.Func, call *ast.CallExpr) []ast.Expr {
+	u.ensureSpawnParams()
+	if len(u.spawnParams[f]) == 0 {
+		return nil
+	}
+	var out []ast.Expr
+	for i, arg := range call.Args {
+		if _, ok := u.spawnParamAt(f, i, len(call.Args)); ok {
+			out = append(out, arg)
+		}
+	}
+	return out
+}
+
+// methodExprMatches reports whether a method's signature, viewed as a
+// bound-method expression (the receiver prepended as the first
+// parameter, as in `f := (*T).Work; f(t)`), matches the call-site
+// signature sig. sameSignature cannot see these: the method's own
+// signature keeps the receiver out of Params.
+func methodExprMatches(fsig, sig *types.Signature) bool {
+	if fsig.Recv() == nil || fsig.Variadic() != sig.Variadic() {
+		return false
+	}
+	if sig.Params().Len() != fsig.Params().Len()+1 || !identicalTuples(fsig.Results(), sig.Results()) {
+		return false
+	}
+	if !types.Identical(sig.Params().At(0).Type(), fsig.Recv().Type()) {
+		return false
+	}
+	for i := 0; i < fsig.Params().Len(); i++ {
+		if !types.Identical(fsig.Params().At(i).Type(), sig.Params().At(i+1).Type()) {
+			return false
+		}
+	}
+	return true
 }
 
 // sameSignature reports whether two signatures have identical

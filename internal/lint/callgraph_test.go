@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"testing"
+)
+
+// callgraphUnit loads the callgraph fixture into a fresh Unit.
+func callgraphUnit(t *testing.T) *Unit {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(fixturePrefix + "callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Unit{Pkgs: []*Package{pkg}, Cfg: DefaultConfig()}
+}
+
+// fnNamed finds the fixture's declared function by name.
+func fnNamed(t *testing.T, u *Unit, name string) *types.Func {
+	t.Helper()
+	u.ensureDecls()
+	for _, di := range u.declList {
+		if di.fn.Name() == name {
+			return di.fn
+		}
+	}
+	t.Fatalf("fixture function %s not found", name)
+	return nil
+}
+
+// TestCallGraphEdgeKinds pins the kinded edges the lock-state
+// interpreter keys its transfer function on: plain calls and defers
+// run in the caller's context, go (direct or through a function value)
+// starts a fresh one, and dynamic calls resolve conservatively —
+// through method values AND bound-method expressions.
+func TestCallGraphEdgeKinds(t *testing.T) {
+	u := callgraphUnit(t)
+	cases := []struct {
+		caller string
+		want   []string // "kind->callee" edges that must be present
+	}{
+		{"StaticCall", []string{"call->helper"}},
+		{"DeferredCall", []string{"defer->helper"}},
+		{"GoCall", []string{"go->helper"}},
+		{"MethodValue", []string{"dynamic->Work"}},
+		{"MethodExpression", []string{"dynamic->Work"}},
+		{"GoValue", []string{"go-dynamic->helper", "go-dynamic->target"}},
+		{"SpawnAll", []string{"go-dynamic->helper", "go-dynamic->target"}},
+		{"UseSpawnAll", []string{"call->SpawnAll", "call->Indirect", "call->GoValue"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.caller, func(t *testing.T) {
+			edges := u.edgesFrom(fnNamed(t, u, tc.caller))
+			got := map[string]bool{}
+			for _, e := range edges {
+				got[fmt.Sprintf("%s->%s", e.kind, e.callee.fn.Name())] = true
+			}
+			for _, w := range tc.want {
+				if !got[w] {
+					t.Errorf("edgesFrom(%s) misses %q; got %v", tc.caller, w, keys(got))
+				}
+			}
+		})
+	}
+}
+
+// TestCallGraphEdgeKindsExact pins exactness where the resolution is
+// static: a plain call must produce exactly one edge of the right
+// kind, not a dynamic fan-out.
+func TestCallGraphEdgeKindsExact(t *testing.T) {
+	u := callgraphUnit(t)
+	for caller, kind := range map[string]edgeKind{
+		"StaticCall":   edgeCall,
+		"DeferredCall": edgeDefer,
+		"GoCall":       edgeGo,
+	} {
+		edges := u.edgesFrom(fnNamed(t, u, caller))
+		if len(edges) != 1 || edges[0].kind != kind || edges[0].callee.fn.Name() != "helper" {
+			t.Errorf("edgesFrom(%s) = %v; want exactly one %s edge to helper", caller, edges, kind)
+		}
+	}
+}
+
+// TestMethodExpressionResolution: a bound-method expression call
+// resolves to the method (receiver folded back from the first
+// parameter), and only to compatible targets — helper (no receiver,
+// wrong arity as a method expression) must not appear.
+func TestMethodExpressionResolution(t *testing.T) {
+	u := callgraphUnit(t)
+	edges := u.edgesFrom(fnNamed(t, u, "MethodExpression"))
+	sawWork, sawOther := false, false
+	for _, e := range edges {
+		if e.kind != edgeDynamic {
+			continue
+		}
+		if e.callee.fn.Name() == "Work" {
+			sawWork = true
+		} else {
+			sawOther = true
+		}
+	}
+	if !sawWork {
+		t.Error("bound-method expression call did not resolve to Work")
+	}
+	if sawOther {
+		t.Errorf("bound-method expression call resolved beyond Work: %v", edges)
+	}
+}
+
+// TestSpawnParams pins the worker/pool-helper derivation: `go` on the
+// parameter itself, on an element ranged out of a variadic parameter,
+// and transitively through a call that forwards the parameter.
+func TestSpawnParams(t *testing.T) {
+	u := callgraphUnit(t)
+	u.ensureSpawnParams()
+	for _, name := range []string{"GoValue", "SpawnAll", "Indirect"} {
+		fn := fnNamed(t, u, name)
+		if !u.spawnParams[fn][0] {
+			t.Errorf("parameter 0 of %s is not marked spawning; spawnParams = %v", name, u.spawnParams[fn])
+		}
+	}
+	if set := u.spawnParams[fnNamed(t, u, "StaticCall")]; len(set) != 0 {
+		t.Errorf("StaticCall has spawning parameters %v; want none", set)
+	}
+}
+
+// TestSpawnParamVariadicFolding: every argument position of a call
+// landing on a spawning variadic tail folds onto the same parameter.
+func TestSpawnParamVariadicFolding(t *testing.T) {
+	u := callgraphUnit(t)
+	u.ensureSpawnParams()
+	spawnAll := fnNamed(t, u, "SpawnAll")
+	for argIdx := 0; argIdx < 2; argIdx++ {
+		pi, ok := u.spawnParamAt(spawnAll, argIdx, 2)
+		if !ok || pi != 0 {
+			t.Errorf("spawnParamAt(SpawnAll, %d, 2) = (%d, %v); want (0, true)", argIdx, pi, ok)
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

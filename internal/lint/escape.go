@@ -1,0 +1,403 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerSharedStateEscape tracks references that alias the engine's
+// shared mutable internals — the live *bag.Bag behind a table
+// ((*storage.Table).Data, (*storage.Database).Bag) and bag/map/slice
+// fields of the core and storage structs — with def-use alias facts
+// instead of the lexical heuristics the bag-mutation analyzer uses.
+// Two escape shapes are flagged:
+//
+//   - a reference obtained INSIDE a locked region (the closure argument
+//     of a txn.LockManager acquisition, or the body of a core *Locked
+//     function) must not outlive it: assigning it to a variable
+//     declared outside the region, storing it into a field or an outer
+//     container, sending it on a channel, returning it, or capturing it
+//     in a spawned goroutine all let lock-free code read state the lock
+//     was guarding (Clone it under the lock instead — the Query
+//     pattern);
+//   - an exported core/storage function must not return a direct
+//     reference to an internal bag, map, or slice field: the caller
+//     holds an alias into lock-guarded state with no lock protocol
+//     attached. Return a clone, or suppress with the documented
+//     ownership contract.
+var analyzerSharedStateEscape = &Analyzer{
+	Name: "shared-state-escape",
+	Doc:  "references to lock-guarded engine internals never escape their locked region or leak through exported accessors",
+	Run:  runSharedStateEscape,
+}
+
+func runSharedStateEscape(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkEscapeRegions(fd)
+			if p.Pkg.Path == p.Cfg.CorePkg || p.Pkg.Path == p.Cfg.StoragePkg {
+				p.checkAccessorLeak(fd)
+			}
+		}
+	}
+}
+
+// checkEscapeRegions finds the locked regions of fd and runs the
+// escape analysis over each: every lock-acquire closure argument, plus
+// the whole body when fd itself carries the *Locked contract.
+func (p *Pass) checkEscapeRegions(fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	if fn, ok := info.Defs[fd.Name].(*types.Func); ok && isLockedContractFn(fn, p.Cfg.CorePkg) {
+		p.checkRegion(fd.Body, fd.Name.Name+" (Locked contract: caller holds the lock)")
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if !isLockAcquire(CalleeOf(info, call), p.Cfg.TxnPkg) {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit); ok {
+			p.checkRegion(lit.Body, "the locked region")
+		}
+		return true
+	})
+}
+
+// isInternalRefCall reports whether call returns a reference aliasing
+// live table storage: (*storage.Table).Data() or
+// (*storage.Database).Bag(...).
+func isInternalRefCall(info *types.Info, call *ast.CallExpr, storagePkg string) bool {
+	f := CalleeOf(info, call)
+	if f == nil {
+		return false
+	}
+	return (f.Name() == "Data" && isMethodOn(f, storagePkg, "Table")) ||
+		(f.Name() == "Bag" && isMethodOn(f, storagePkg, "Database"))
+}
+
+// checkRegion runs the def-use escape analysis over one locked region.
+func (p *Pass) checkRegion(body ast.Node, regionDesc string) {
+	info := p.Pkg.Info
+
+	// Pass A: taint fixpoint. tainted maps a local object to the source
+	// text of the internal reference it aliases.
+	tainted := map[types.Object]string{}
+	var taintOf func(e ast.Expr) (string, bool)
+	taintOf = func(e ast.Expr) (string, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if isInternalRefCall(info, e, p.Cfg.StoragePkg) {
+				return types.ExprString(e), true
+			}
+			// append propagates aliasing: the result's backing array can
+			// still hold the tainted reference.
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+				for _, a := range e.Args {
+					if src, ok := taintOf(a); ok {
+						return src, true
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				if src, ok := tainted[obj]; ok {
+					return src, true
+				}
+			}
+		}
+		return "", false
+	}
+	for changed := true; changed; {
+		changed = false
+		mark := func(lhs ast.Expr, src string) {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				return
+			}
+			if _, seen := tainted[obj]; !seen {
+				tainted[obj] = src
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch {
+			case len(as.Lhs) == len(as.Rhs):
+				for i := range as.Lhs {
+					if src, ok := taintOf(as.Rhs[i]); ok {
+						mark(as.Lhs[i], src)
+					}
+				}
+			case len(as.Rhs) == 1:
+				// b, ok := db.Bag("mv_a"): the reference is result 0.
+				if src, ok := taintOf(as.Rhs[0]); ok {
+					mark(as.Lhs[0], src)
+				}
+			}
+			return true
+		})
+	}
+
+	// insideRegion reports whether an object's declaration sits inside
+	// the region — the variables whose lifetime the lock bounds.
+	insideRegion := func(obj types.Object) bool {
+		return obj != nil && body.Pos() <= obj.Pos() && obj.Pos() <= body.End()
+	}
+
+	// Pass B: sinks, with function-literal depth so a `return` inside a
+	// nested closure is not mistaken for leaving the region.
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if ast.Node(m) == n {
+					return true
+				}
+				walk(m.Body, depth+1)
+				return false
+			case *ast.AssignStmt:
+				sink := func(rawLHS ast.Expr, src string) {
+					switch lhs := ast.Unparen(rawLHS).(type) {
+					case *ast.Ident:
+						obj := info.Defs[lhs]
+						if obj == nil {
+							obj = info.Uses[lhs]
+						}
+						if obj != nil && !insideRegion(obj) {
+							p.Reportf(m.Pos(),
+								"%s (aliasing live table state) is assigned to %s, which outlives %s; the reference escapes the lock — Clone() under the lock instead",
+								src, lhs.Name, regionDesc)
+						}
+					case *ast.SelectorExpr:
+						p.Reportf(m.Pos(),
+							"%s (aliasing live table state) is stored into field %s and outlives %s; the reference escapes the lock — Clone() under the lock instead",
+							src, types.ExprString(lhs), regionDesc)
+					case *ast.IndexExpr:
+						if base, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+							if obj := info.Uses[base]; obj != nil && insideRegion(obj) {
+								return
+							}
+						}
+						p.Reportf(m.Pos(),
+							"%s (aliasing live table state) is stored into container %s that outlives %s; the reference escapes the lock — Clone() under the lock instead",
+							src, types.ExprString(lhs.X), regionDesc)
+					}
+				}
+				switch {
+				case len(m.Lhs) == len(m.Rhs):
+					for i := range m.Lhs {
+						if src, ok := taintOf(m.Rhs[i]); ok {
+							sink(m.Lhs[i], src)
+						}
+					}
+				case len(m.Rhs) == 1:
+					if src, ok := taintOf(m.Rhs[0]); ok {
+						sink(m.Lhs[0], src)
+					}
+				}
+			case *ast.SendStmt:
+				if src, ok := taintOf(m.Value); ok {
+					p.Reportf(m.Pos(),
+						"%s (aliasing live table state) is sent on a channel out of %s; the receiver reads lock-guarded state with no lock held — Clone() under the lock instead",
+						src, regionDesc)
+				}
+			case *ast.ReturnStmt:
+				if depth != 0 {
+					return true
+				}
+				for _, r := range m.Results {
+					if src, ok := taintOf(r); ok {
+						p.Reportf(m.Pos(),
+							"%s (aliasing live table state) is returned out of %s; the caller keeps the reference after the lock releases — Clone() under the lock instead",
+							src, regionDesc)
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+					p.flagTaintedCapture(lit, tainted, regionDesc, m.Pos())
+				}
+				for _, arg := range m.Call.Args {
+					if src, ok := taintOf(arg); ok {
+						p.Reportf(m.Pos(),
+							"%s (aliasing live table state) is passed to a spawned goroutine from %s; the goroutine runs without the lock — Clone() under the lock instead",
+							src, regionDesc)
+					}
+				}
+				return false
+			case *ast.CallExpr:
+				// A closure handed to a worker/pool spawn helper runs in a
+				// goroutine too (callgraph.go spawn parameters).
+				if f := CalleeOf(info, m); f != nil {
+					for _, arg := range p.Unit.spawningArgs(f, m) {
+						if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+							p.flagTaintedCapture(lit, tainted, regionDesc, arg.Pos())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+}
+
+// flagTaintedCapture reports tainted objects captured by a spawned
+// function literal.
+func (p *Pass) flagTaintedCapture(lit *ast.FuncLit, tainted map[types.Object]string, regionDesc string, pos token.Pos) {
+	info := p.Pkg.Info
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		if src, ok := tainted[obj]; ok {
+			seen[obj] = true
+			p.Reportf(pos,
+				"%s (aliasing live table state) is captured by a goroutine spawned from %s; the goroutine runs without the lock — Clone() under the lock instead",
+				src, regionDesc)
+		}
+		return true
+	})
+}
+
+// checkAccessorLeak flags exported core/storage functions that return a
+// direct reference to an internal bag, map, or slice field: the alias
+// outlives every lock the engine takes around that state.
+func (p *Pass) checkAccessorLeak(fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() {
+		return
+	}
+	info := p.Pkg.Info
+
+	// Local aliases of internal field references: x := t.data.
+	alias := map[types.Object]string{}
+	fieldRef := func(e ast.Expr) (string, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			obj := info.Uses[e.Sel]
+			v, ok := obj.(*types.Var)
+			if !ok || !v.IsField() || v.Pkg() == nil {
+				return "", false
+			}
+			if v.Pkg().Path() != p.Cfg.CorePkg && v.Pkg().Path() != p.Cfg.StoragePkg {
+				return "", false
+			}
+			if !sharedMutableType(v.Type()) {
+				return "", false
+			}
+			return types.ExprString(e), true
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				if src, ok := alias[obj]; ok {
+					return src, true
+				}
+			}
+		}
+		return "", false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			if src, ok := fieldRef(as.Rhs[i]); ok {
+				if id, isID := as.Lhs[i].(*ast.Ident); isID {
+					if obj := info.Defs[id]; obj != nil {
+						alias[obj] = src
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if ast.Node(m) == n {
+					return true
+				}
+				walk(m.Body, depth+1)
+				return false
+			case *ast.ReturnStmt:
+				if depth != 0 {
+					return true
+				}
+				for _, r := range m.Results {
+					if src, ok := fieldRef(r); ok {
+						p.Reportf(m.Pos(),
+							"exported %s returns %s, a direct reference to an internal %s; callers bypass the lock protocol on shared engine state — return a clone or document the ownership contract",
+							fd.Name.Name, src, typeClass(info, r))
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, 0)
+}
+
+// sharedMutableType reports whether t is one of the aliasing-dangerous
+// internal state types: *bag.Bag, a map, or a slice.
+func sharedMutableType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		named, ok := ptr.Elem().(*types.Named)
+		if ok && named.Obj().Name() == "Bag" && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Name() == "bag" {
+			return true
+		}
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// typeClass names the class of an expression's type for diagnostics.
+func typeClass(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return "reference"
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return "bag"
+}

@@ -19,9 +19,14 @@ type jsonFinding struct {
 // WriteJSON renders findings as an indented JSON array in the order
 // given (RunAnalyzers already sorts by position). An empty findings
 // slice renders as [], never null, so consumers can range unguarded.
+// Warning findings are advisory and excluded: the array holds exactly
+// the findings that drive a nonzero exit code.
 func WriteJSON(w io.Writer, findings []Finding) error {
 	out := make([]jsonFinding, 0, len(findings))
 	for _, f := range findings {
+		if f.Warning {
+			continue
+		}
 		out = append(out, jsonFinding{
 			File:    f.Pos.Filename,
 			Line:    f.Pos.Line,

@@ -12,10 +12,13 @@ import (
 
 // Finding is one diagnostic: a position, the analyzer that produced
 // it, and a message. Rendered as "file:line:col: [check] message".
+// Warning findings are advisory: the CLI routes them to stderr and
+// they do not affect the exit code or the JSON output.
 type Finding struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	Warning bool
 }
 
 func (f Finding) String() string {
@@ -107,11 +110,24 @@ type Unit struct {
 	declList  []*declInfo // decls in deterministic (position) order
 	addrTaken map[*types.Func]bool
 
+	edgeOnce sync.Once
+	edges    []callEdge
+
+	spawnParamOnce sync.Once
+	spawnParams    map[*types.Func]map[int]bool
+
 	lockOnce sync.Once
 	lock     *lockResult
 
 	writeMu   sync.Mutex
 	writeSums map[*types.Func]map[string]token.Pos
+
+	spawnMu   sync.Mutex
+	reachMemo map[*types.Func]*types.Func
+	touchMemo map[*types.Func]map[string]token.Pos
+
+	atomicOnce sync.Once
+	atomic     *atomicFacts
 }
 
 // Pass is one analyzer's view of one package.
@@ -194,6 +210,9 @@ func All() []*Analyzer {
 		analyzerLockDiscipline,
 		analyzerLockOrder,
 		analyzerLockedContract,
+		analyzerGoroutineContext,
+		analyzerSharedStateEscape,
+		analyzerAtomicDiscipline,
 		analyzerStateBug,
 		analyzerBagMutation,
 		analyzerMapIteration,
@@ -260,8 +279,13 @@ func collectSuppressions(pkg *Package, known map[string]bool, findings *[]Findin
 				bad := false
 				for _, n := range strings.Split(fields[0], ",") {
 					if !known[n] {
-						*findings = append(*findings, Finding{Pos: pos, Check: "dvmlint",
-							Message: fmt.Sprintf("suppression names unknown check %q", n)})
+						// A name no analyzer recognizes (a typo, or a check
+						// since renamed) is a warning, not an error: the
+						// suppression is inert, so it cannot hide a finding,
+						// and erroring would break builds on every analyzer
+						// rename.
+						*findings = append(*findings, Finding{Pos: pos, Check: "dvmlint", Warning: true,
+							Message: fmt.Sprintf("suppression names unknown check %q (ignored)", n)})
 						bad = true
 						continue
 					}
@@ -291,6 +315,14 @@ func collectSuppressions(pkg *Package, known map[string]bool, findings *[]Findin
 // A //dvmlint:ignore suppression that matches no finding is itself
 // reported as stale, provided every check it names was part of this
 // run (a partial -checks run cannot judge the others' suppressions).
+//
+// Analyzers run concurrently, one goroutine per analyzer, each with a
+// private findings slice: the shared interprocedural facts on Unit are
+// computed behind sync.Once (decls, call graph, lock fixpoint, atomic
+// facts) or a mutex (write/touch summaries), so the first analyzer to
+// need a fact computes it and the rest block briefly and share it.
+// Suppression matching and the final sort happen sequentially after
+// the barrier, which keeps the output byte-identical to a serial run.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Finding {
 	known := map[string]bool{}
 	for _, a := range All() {
@@ -302,40 +334,53 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Finding 
 	}
 	unit := &Unit{Pkgs: pkgs, Cfg: cfg}
 	var findings []Finding
+	sups := map[string][]*suppression{}
 	for _, pkg := range pkgs {
-		var raw []Finding
-		sups := collectSuppressions(pkg, known, &findings)
-		for _, a := range analyzers {
-			a.Run(&Pass{Pkg: pkg, Unit: unit, Cfg: cfg, check: a.Name, findings: &raw})
+		for file, list := range collectSuppressions(pkg, known, &findings) {
+			sups[file] = append(sups[file], list...)
 		}
-		for _, f := range raw {
+	}
+	raw := make([][]Finding, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			for _, pkg := range pkgs {
+				a.Run(&Pass{Pkg: pkg, Unit: unit, Cfg: cfg, check: a.Name, findings: &raw[i]})
+			}
+		}(i, a)
+	}
+	wg.Wait()
+	for _, rs := range raw {
+		for _, f := range rs {
 			if !suppressed(f, sups) {
 				findings = append(findings, f)
 			}
 		}
-		for _, file := range sups {
-			for _, s := range file {
-				if s.used {
-					continue
-				}
-				all := true
-				var names []string
-				for n := range s.checks {
-					names = append(names, n)
-					if !selected[n] {
-						all = false
-					}
-				}
-				if !all {
-					continue
-				}
-				sort.Strings(names)
-				findings = append(findings, Finding{Pos: s.pos, Check: "dvmlint",
-					Message: fmt.Sprintf("suppression for %s matches no finding; stale suppressions must be removed", strings.Join(names, ","))})
+	}
+	for _, file := range sups {
+		for _, s := range file {
+			if s.used {
+				continue
 			}
+			all := true
+			var names []string
+			for n := range s.checks {
+				names = append(names, n)
+				if !selected[n] {
+					all = false
+				}
+			}
+			if !all {
+				continue
+			}
+			sort.Strings(names)
+			findings = append(findings, Finding{Pos: s.pos, Check: "dvmlint",
+				Message: fmt.Sprintf("suppression for %s matches no finding; stale suppressions must be removed", strings.Join(names, ","))})
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
+	sort.SliceStable(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
@@ -346,7 +391,10 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Finding 
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
 	return findings
 }

@@ -43,6 +43,27 @@ var fixtureCases = []struct {
 		},
 	},
 	{
+		dir:    "goctx",
+		checks: "goroutine-context",
+		cfg: func(c Config) Config {
+			c.CorePkg = fixturePrefix + "goctx"
+			return c
+		},
+	},
+	{
+		dir:    "escape",
+		checks: "shared-state-escape",
+		cfg: func(c Config) Config {
+			c.CorePkg = fixturePrefix + "escape"
+			return c
+		},
+	},
+	{
+		dir:    "atomicfield",
+		checks: "atomic-discipline",
+		cfg:    func(c Config) Config { return c },
+	},
+	{
 		dir:    "statebug",
 		checks: "state-bug",
 		cfg: func(c Config) Config {
@@ -117,7 +138,11 @@ func TestFixtures(t *testing.T) {
 			}
 			var sb strings.Builder
 			for _, f := range findings {
-				fmt.Fprintf(&sb, "%s:%d: [%s] %s\n", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Check, f.Message)
+				tag := ""
+				if f.Warning {
+					tag = "warning: "
+				}
+				fmt.Fprintf(&sb, "%s:%d: [%s] %s%s\n", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Check, tag, f.Message)
 			}
 			got := sb.String()
 

@@ -1,0 +1,64 @@
+// Package callgraph is a dvmlint fixture for the call-graph substrate
+// (callgraph.go): edge kinds (call/defer/go/dynamic/go-dynamic),
+// method values and bound-method expressions, and spawn-parameter
+// derivation through variadic function-value arguments. It is driven
+// by callgraph_test.go, not by an analyzer golden.
+package callgraph
+
+// T carries the method used as a method value and a method expression.
+type T struct{ n int }
+
+// Work is resolved dynamically through both binding forms below.
+func (t *T) Work() { t.n++ }
+
+func helper() {}
+
+func target() {}
+
+// StaticCall produces a plain call edge.
+func StaticCall() { helper() }
+
+// DeferredCall produces a defer edge.
+func DeferredCall() { defer helper() }
+
+// GoCall produces a go edge.
+func GoCall() { go helper() }
+
+// MethodValue calls through a bound-method value: a dynamic edge to
+// every address-taken function of the value's signature, Work included.
+func MethodValue(t *T) {
+	fv := t.Work
+	fv()
+}
+
+// MethodExpression calls through a bound-method expression: the
+// receiver surfaces as the first parameter, which methodExprMatches
+// folds back onto Work's receiver.
+func MethodExpression(t *T) {
+	f := (*T).Work
+	f(t)
+}
+
+// GoValue spawns a function value: a go-dynamic edge, and parameter 0
+// becomes a spawning parameter.
+func GoValue(fn func()) { go fn() }
+
+// SpawnAll ranges over a variadic function-value parameter and spawns
+// each element: parameter 0 is spawning through the range derivation.
+func SpawnAll(fns ...func()) {
+	for _, fn := range fns {
+		go fn()
+	}
+}
+
+// Indirect passes its parameter onward to a spawning parameter: the
+// propagation fixpoint marks it spawning too.
+func Indirect(fn func()) { SpawnAll(fn) }
+
+// UseSpawnAll keeps the helpers address-taken and gives SpawnAll a
+// call site with a folded variadic tail.
+func UseSpawnAll() {
+	SpawnAll(helper, target)
+	Indirect(helper)
+	GoValue(target)
+}

@@ -1,0 +1,127 @@
+// Package escape is a dvmlint fixture for the shared-state-escape
+// analyzer. The test configures this package as the core package, so
+// its *Locked functions are locked regions and its exported accessors
+// fall under the internal-field-leak rule. A reference obtained under
+// a lock (Database.Bag, Table.Data) aliases live table storage: it
+// must be Clone()d before it crosses the region boundary.
+package escape
+
+import (
+	"dvm/internal/bag"
+	"dvm/internal/storage"
+	"dvm/internal/txn"
+)
+
+// LeakViaOuter assigns the live bag to a variable that outlives the
+// locked region: the caller reads lock-guarded state with no lock.
+func LeakViaOuter(lm *txn.LockManager, db *storage.Database) *bag.Bag {
+	var out *bag.Bag
+	_ = lm.WithRead([]string{"mv_a"}, func() error {
+		b, _ := db.Bag("mv_a")
+		out = b // want: escapes to outer variable
+		return nil
+	})
+	return out
+}
+
+// CloneUnderLock is the correct pattern (the Query pattern): the clone
+// owns its tuples, so handing it out is clean.
+func CloneUnderLock(lm *txn.LockManager, db *storage.Database) *bag.Bag {
+	var out *bag.Bag
+	_ = lm.WithRead([]string{"mv_a"}, func() error {
+		b, _ := db.Bag("mv_a")
+		out = b.Clone()
+		return nil
+	})
+	return out
+}
+
+// sink is a field a locked region must not park live references in.
+type sink struct {
+	last *bag.Bag
+}
+
+// LeakViaField stores the live reference into a struct field.
+func (s *sink) LeakViaField(lm *txn.LockManager, db *storage.Database) {
+	_ = lm.WithWrite([]string{"mv_a"}, func() error {
+		b, _ := db.Bag("mv_a")
+		s.last = b // want: stored into a field
+		return nil
+	})
+}
+
+// LeakViaChannel sends the live reference to a receiver that runs
+// outside the lock.
+func LeakViaChannel(lm *txn.LockManager, db *storage.Database, ch chan *bag.Bag) {
+	_ = lm.WithRead([]string{"mv_a"}, func() error {
+		b, _ := db.Bag("mv_a")
+		ch <- b // want: sent on a channel
+		return nil
+	})
+}
+
+// LeakViaGoroutine captures the live reference in a goroutine that
+// runs after (or concurrently with) the region.
+func LeakViaGoroutine(lm *txn.LockManager, db *storage.Database) {
+	_ = lm.WithRead([]string{"mv_a"}, func() error {
+		b, _ := db.Bag("mv_a")
+		go func() { // want: captured by spawned goroutine
+			_ = b.Len()
+		}()
+		return nil
+	})
+}
+
+// grabLocked runs under its caller's locks (*Locked contract); its
+// whole body is the locked region, so returning the live bag hands the
+// alias to whoever runs after the caller unlocks.
+func grabLocked(db *storage.Database) *bag.Bag {
+	tb, _ := db.Table("mv_a")
+	return tb.Data() // want: returned out of the Locked region
+}
+
+// snapshotLocked is grabLocked done right: Clone before returning.
+func snapshotLocked(db *storage.Database) *bag.Bag {
+	tb, _ := db.Table("mv_a")
+	return tb.Data().Clone()
+}
+
+// Use keeps the helpers referenced.
+func Use(db *storage.Database) {
+	_ = grabLocked(db)
+	_ = snapshotLocked(db)
+}
+
+// store models a core struct whose internals are lock-guarded.
+type store struct {
+	data  *bag.Bag
+	index map[string]int
+}
+
+// Data returns the internal bag by reference: every caller bypasses
+// the lock protocol.
+func (s *store) Data() *bag.Bag {
+	return s.data // want: exported accessor leaks internal bag
+}
+
+// Index returns the internal map by reference.
+func (s *store) Index() map[string]int {
+	return s.index // want: exported accessor leaks internal map
+}
+
+// AliasedData launders the field through a local before returning it;
+// the def-use alias tracking still sees through it.
+func (s *store) AliasedData() *bag.Bag {
+	d := s.data
+	return d // want: exported accessor leaks internal bag via alias
+}
+
+// Snapshot returns a clone: the caller owns it, clean.
+func (s *store) Snapshot() *bag.Bag {
+	return s.data.Clone()
+}
+
+// Count returns a scalar derived from the internals: clean.
+func (s *store) Count() int {
+	return s.data.Len()
+}
