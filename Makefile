@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint lint-json doccheck check fuzz benchdiff
+.PHONY: build test lint lint-json doccheck check fuzz benchdiff bench-shards
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ check:
 # BENCH_*.json baseline; fails on any >2x regression.
 benchdiff:
 	./scripts/benchdiff.sh
+
+# The sharded-propagate scaling comparison: the multi-shard retail day
+# at 1/2/4 shards, plus the E15 downtime guard against the newest
+# BENCH_*.json baseline (single-shard serial config included).
+bench-shards:
+	./scripts/benchshards.sh
 
 fuzz:
 	$(GO) test ./internal/algebra -run '^$$' -fuzz '^FuzzExprParseEval$$' -fuzztime=30s

@@ -12,6 +12,8 @@
 //	                            # write its Chrome trace-event file (Perfetto)
 //	dvmbench -diff BENCH_X.json # fail (exit 1) if any downtime phase's max
 //	                            # regressed >2x against the baseline
+//	dvmbench -shards 4          # run the multi-shard retail day at 4 shards
+//	                            # (compare against -shards 1; e15 is the sweep)
 package main
 
 import (
@@ -36,7 +38,27 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit reports as JSON (for BENCH_*.json baselines)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event file of a traced Policy-1 retail day")
 	diff := flag.String("diff", "", "compare downtime phases against this BENCH_*.json baseline; exit 1 on >2x regression")
+	shards := flag.Int("shards", 0, "run the multi-shard retail day at this shard count (1 = plain serial manager)")
 	flag.Parse()
+
+	if *shards > 0 {
+		rep, err := bench.ShardDayReport(*shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode([]*bench.Report{rep}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Println(rep)
+		}
+		return
+	}
 
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut); err != nil {

@@ -9,7 +9,10 @@
 // Shell meta-commands start with a backslash on their own line:
 //
 //	\stats [prefix]   print the engine's metrics (docs/observability.md),
-//	                  optionally only families starting with prefix
+//	                  optionally only families starting with prefix —
+//	                  e.g. \stats shard for the per-shard families
+//	                  (shard_fold_tuples, shard_log_tuples) of a
+//	                  WithShards engine
 //	\trace [n]        print the last n captured trace trees (default 5),
 //	                  newest first (docs/observability.md "Tracing")
 //

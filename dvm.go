@@ -217,6 +217,12 @@ type EngineOption = sql.EngineOption
 // docs/observability.md, Tracing).
 var WithTraceSpec = sql.WithTraceSpec
 
+// WithShards partitions every Combined view the engine defines into n
+// hash shards: makesafe appends shard-locally and propagate evaluates
+// the Figure 2 DEL/ADD queries per shard (docs/architecture.md
+// "Sharding").
+var WithShards = sql.WithShards
+
 // NewEngine creates a SQL engine over a fresh database.
 func NewEngine(opts ...EngineOption) *Engine { return sql.NewEngine(opts...) }
 

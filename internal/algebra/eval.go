@@ -151,6 +151,9 @@ func (ctx *evalCtx) evalNode(e Expr) (*bag.Bag, error) {
 		if err != nil {
 			return nil, err
 		}
+		if l.Empty() || r.Empty() {
+			return bag.New(), nil
+		}
 		return bag.Product(l, r), nil
 	}
 	return nil, fmt.Errorf("algebra: eval: unknown node %T", e)
@@ -168,6 +171,13 @@ func (ctx *evalCtx) evalJoin(s *Select, p *Product) (*bag.Bag, error) {
 	r, err := ctx.eval(p.R)
 	if err != nil {
 		return nil, err
+	}
+	// An empty side joins to nothing; skip building and probing. Delta
+	// expressions hit this constantly (a quiet table's log term is ∅),
+	// and without the exit the probe loop still scans the full other
+	// side against an empty hash table.
+	if l.Empty() || r.Empty() {
+		return bag.New(), nil
 	}
 	lpos, rpos := joinColumns(s.Pred, p.L.Schema(), p.R.Schema())
 	if len(lpos) == 0 {

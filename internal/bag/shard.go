@@ -1,0 +1,68 @@
+package bag
+
+import "dvm/internal/schema"
+
+// Shard-partitioning helpers. A bag is partitioned into N value-hash
+// shards: every copy of a tuple value lands in exactly one shard, so
+// all pointwise bag operations (⊎, ∸, min, ε) distribute over the
+// partition shard by shard. The hash is FNV-1a over the tuple's
+// canonical key encoding — deterministic across processes, so shard
+// assignment survives snapshot save/load.
+
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// hashKey is FNV-1a over a canonical tuple-key string.
+func hashKey(key string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// ShardOf returns the shard index of a tuple under an n-way partition.
+// When keyCol >= 0 the hash covers only that column (key-hash
+// partitioning: all tuples sharing the key co-locate, which is what
+// makes equi-join deltas shard-local); keyCol < 0 hashes the full
+// tuple value (pointwise partitioning).
+func ShardOf(t schema.Tuple, keyCol, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var key string
+	if keyCol >= 0 && keyCol < len(t) {
+		key = schema.Tuple{t[keyCol]}.Key()
+	} else {
+		key = t.Key()
+	}
+	return int(hashKey(key) % uint32(n))
+}
+
+// Partition splits b into n shards by ShardOf. The returned bags are
+// fresh; b is not modified. Σ shards == b by construction.
+func Partition(b *Bag, keyCol, n int) []*Bag {
+	out := make([]*Bag, n)
+	for i := range out {
+		out[i] = New()
+	}
+	b.Each(func(t schema.Tuple, c int) {
+		out[ShardOf(t, keyCol, n)].Add(t, c)
+	})
+	return out
+}
+
+// MergeShards unions shard bags back into one bag (the view-boundary
+// merge): the inverse of Partition.
+func MergeShards(shards ...*Bag) *Bag {
+	out := New()
+	for _, s := range shards {
+		if s != nil {
+			out.AddBag(s)
+		}
+	}
+	return out
+}

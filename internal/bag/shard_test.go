@@ -1,0 +1,85 @@
+package bag
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvm/internal/schema"
+)
+
+func randomBag(rng *rand.Rand, n int) *Bag {
+	b := New()
+	for i := 0; i < n; i++ {
+		b.Add(schema.Row(int64(rng.Intn(50)), int64(rng.Intn(10)), "x"), 1+rng.Intn(3))
+	}
+	return b
+}
+
+// TestPartitionRoundTrip: Σ Partition(b) == b, for both key-column and
+// full-tuple partitioning, at several shard counts.
+func TestPartitionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 7} {
+		for _, keyCol := range []int{-1, 0, 1} {
+			b := randomBag(rng, 200)
+			parts := Partition(b, keyCol, n)
+			if len(parts) != n {
+				t.Fatalf("Partition returned %d shards, want %d", len(parts), n)
+			}
+			if got := MergeShards(parts...); !got.Equal(b) {
+				t.Fatalf("n=%d keyCol=%d: merged shards differ from original", n, keyCol)
+			}
+		}
+	}
+}
+
+// TestShardOfDeterministicAndValueLocal: equal tuple values always map
+// to the same shard, and under key-column partitioning all tuples with
+// the same key co-locate.
+func TestShardOfDeterministicAndValueLocal(t *testing.T) {
+	a := schema.Row(int64(7), int64(3), "x")
+	b := schema.Row(int64(7), int64(9), "y")
+	for _, n := range []int{2, 4, 8} {
+		if ShardOf(a, -1, n) != ShardOf(a.Clone(), -1, n) {
+			t.Fatalf("full-tuple shard of equal values differs (n=%d)", n)
+		}
+		if ShardOf(a, 0, n) != ShardOf(b, 0, n) {
+			t.Fatalf("key-column shard differs for equal keys (n=%d)", n)
+		}
+	}
+	if got := ShardOf(a, -1, 1); got != 0 {
+		t.Fatalf("single shard must be 0, got %d", got)
+	}
+}
+
+// TestPartitionPointwiseOps: pointwise bag ops distribute over a
+// full-tuple partition shard by shard — the algebraic fact the sharded
+// fold relies on.
+func TestPartitionPointwiseOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomBag(rng, 300)
+	b := randomBag(rng, 300)
+	const n = 4
+	ap := Partition(a, -1, n)
+	bp := Partition(b, -1, n)
+
+	type op struct {
+		name  string
+		whole *Bag
+		part  func(i int) *Bag
+	}
+	for _, o := range []op{
+		{"monus", Monus(a, b), func(i int) *Bag { return Monus(ap[i], bp[i]) }},
+		{"union", UnionAll(a, b), func(i int) *Bag { return UnionAll(ap[i], bp[i]) }},
+		{"min", Min(a, b), func(i int) *Bag { return Min(ap[i], bp[i]) }},
+		{"dupelim", DupElim(a), func(i int) *Bag { return DupElim(ap[i]) }},
+	} {
+		parts := make([]*Bag, n)
+		for i := 0; i < n; i++ {
+			parts[i] = o.part(i)
+		}
+		if got := MergeShards(parts...); !got.Equal(o.whole) {
+			t.Fatalf("%s does not distribute over full-tuple shards", o.name)
+		}
+	}
+}

@@ -157,10 +157,21 @@ func TestE14Runs(t *testing.T) {
 	}
 }
 
+func TestE15Runs(t *testing.T) {
+	r := run(t, E15ShardScaling)
+	if len(r.Rows) != 4 {
+		t.Fatalf("E15 shape wrong:\n%s", r)
+	}
+	// The serial row is the baseline: its speedup column is exactly 1.00x.
+	if r.Rows[0][2] != "1.00x" {
+		t.Fatalf("E15 serial row should have speedup 1.00x:\n%s", r)
+	}
+}
+
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dvm/internal/core"
+	"dvm/internal/storage"
+	"dvm/internal/workload"
+)
+
+// The multi-shard retail day: basket-grained point-of-sale traffic
+// against the Example 1.1 join view, maintained under Policy 2
+// (propagate every tick, partial refresh). Each basket is one
+// Zipf-picked customer, so with the customer id as shard key a tick's
+// log entries land in one shard and the sharded propagate evaluates
+// the Figure 2 queries against that shard's 1/N-sized base mirrors
+// only. -shards=1 is the plain serial manager (no shard machinery at
+// all), which makes E15's speedup column an honest apples-to-apples
+// comparison.
+const (
+	shardDayTicks        = 240 // baskets in the day
+	shardDayRefreshEvery = 60  // partial refresh cadence (ticks)
+	shardDayFlipEvery    = 40  // customer score flips (ticks)
+	shardDaySeed         = 21
+)
+
+func shardDayConfig(seed int64) workload.RetailConfig {
+	return workload.RetailConfig{
+		Customers:    1200,
+		HighFraction: 0.2,
+		InitialSales: 9000,
+		Items:        300,
+		ZipfS:        1.2,
+		Seed:         seed,
+	}
+}
+
+// runShardDay drives the retail day into one manager built with n
+// shards and returns the manager for metric extraction. The workload
+// stream is a deterministic function of the seed, so every shard
+// count replays the identical day.
+func runShardDay(n int, seed int64) (*core.Manager, error) {
+	db := storage.NewDatabase()
+	w := workload.NewRetail(shardDayConfig(seed))
+	if err := w.Setup(db); err != nil {
+		return nil, err
+	}
+	m := core.NewManager(db, core.WithShards(n))
+	def, err := w.ViewDef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.DefineView("hv", def, core.Combined); err != nil {
+		return nil, err
+	}
+	runner, err := m.NewRunner("hv", core.Policy{
+		PropagateEvery: 1,
+		RefreshEvery:   shardDayRefreshEvery,
+		Partial:        true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for tick := 1; tick <= shardDayTicks; tick++ {
+		if err := m.Execute(w.Basket(3, 8, 0.15)); err != nil {
+			return nil, err
+		}
+		if tick%shardDayFlipEvery == 0 {
+			flip, err := w.ScoreFlip()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.Execute(flip); err != nil {
+				return nil, err
+			}
+		}
+		if err := runner.Tick(); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Refresh("hv"); err != nil {
+		return nil, err
+	}
+	if err := m.CheckInvariant("hv"); err != nil {
+		return nil, err
+	}
+	if n > 1 {
+		if err := m.CheckShardInvariant("hv"); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// E15ShardScaling runs the multi-shard retail day at 1, 2, 4, and 8
+// shards and reports the propagate-phase scaling. The speedup column
+// is total propagate time at 1 shard divided by total propagate time
+// at n shards; on one core it comes from dirty-shard pruning (clean
+// shards are provably delta-free, so they are never evaluated) and
+// from the 1/N-sized co-partitioned base mirrors each dirty shard's
+// Figure 2 evaluation scans.
+func E15ShardScaling() (*Report, error) {
+	rep := &Report{
+		ID: "E15",
+		Title: fmt.Sprintf("Sharded propagate scaling (Combined, Policy 2, %d baskets, refresh every %d)",
+			shardDayTicks, shardDayRefreshEvery),
+		Notes: "speedup = propagate_ns sum at 1 shard / at n shards; single-core, so gains are algorithmic (dirty-shard pruning + 1/N base mirrors), not parallelism",
+		Header: []string{"shards", "total propagate µs", "speedup", "max refresh downtime µs",
+			"total partial refresh µs", "shard evals"},
+	}
+	var base time.Duration
+	for _, n := range []int{1, 2, 4, 8} {
+		m, err := runShardDay(n, shardDaySeed)
+		if err != nil {
+			return nil, err
+		}
+		snap := m.Obs().Snapshot()
+		prop, _ := snap.Get("propagate_ns", "hv")
+		down, _ := snap.Get("view_downtime_ns", "hv")
+		part, _ := snap.Get("partial_refresh_ns", "hv")
+		total := time.Duration(prop.Sum)
+		if n == 1 {
+			base = total
+		}
+		speedup := "1.00x"
+		if n > 1 && total > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(base)/float64(total))
+		}
+		// Shard evals = how many per-shard DEL/ADD evaluations actually
+		// ran; with clean-shard pruning this stays near one per tick
+		// regardless of n.
+		evals := int64(0)
+		for _, met := range snap.Family("propagate_shard_ns") {
+			evals += met.Count
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprint(total.Microseconds()),
+			speedup,
+			fmt.Sprint(time.Duration(down.Max).Microseconds()),
+			fmt.Sprint(time.Duration(part.Sum).Microseconds()),
+			fmt.Sprint(evals),
+		})
+		rep.Phases = append(rep.Phases, PhasesFrom(m.Obs(),
+			fmt.Sprintf("%d shards:", n),
+			"propagate_ns", "propagate_shard_ns", "partial_refresh_ns", "view_downtime_ns")...)
+	}
+	return rep, nil
+}
+
+// ShardDayReport runs the multi-shard retail day once at the given
+// shard count and reports its phase timings — the body behind
+// dvmbench -shards=N.
+func ShardDayReport(n int) (*Report, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("bench: shard count must be >= 1, got %d", n)
+	}
+	m, err := runShardDay(n, shardDaySeed)
+	if err != nil {
+		return nil, err
+	}
+	snap := m.Obs().Snapshot()
+	prop, _ := snap.Get("propagate_ns", "hv")
+	down, _ := snap.Get("view_downtime_ns", "hv")
+	rep := &Report{
+		ID:     fmt.Sprintf("shards-%d", n),
+		Title:  fmt.Sprintf("Multi-shard retail day at %d shard(s)", n),
+		Notes:  "compare total propagate µs across -shards=N runs; E15 runs the full sweep",
+		Header: []string{"shards", "total propagate µs", "max refresh downtime µs"},
+		Rows: [][]string{{
+			fmt.Sprint(n),
+			fmt.Sprint(time.Duration(prop.Sum).Microseconds()),
+			fmt.Sprint(time.Duration(down.Max).Microseconds()),
+		}},
+		Phases: PhasesFrom(m.Obs(), "",
+			"makesafe_ns", "propagate_ns", "propagate_shard_ns", "partial_refresh_ns", "refresh_ns", "view_downtime_ns"),
+	}
+	return rep, nil
+}

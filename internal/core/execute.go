@@ -86,6 +86,18 @@ func (m *Manager) Execute(t txn.Txn) error {
 			msp.End()
 			continue
 		}
+		if v.sh != nil {
+			// Sharded Combined view: route ∇R/△R by shard key and merge
+			// shard-locally under per-shard locks (makesafe_C with a
+			// partitioned log; see shard.go). The in-place merge is the
+			// only form — slowLogAppend has no algebraic twin here.
+			err := m.appendToLogsSharded(v, nt)
+			msp.End()
+			if err != nil {
+				return err
+			}
+			continue
+		}
 		if (v.Scenario == BaseLogs || v.Scenario == Combined) && !m.slowLogAppend {
 			// Fast path: the weakly minimal log merge
 			//   ▼R := ▼R ⊎ (∇R ∸ ▲R);  ▲R := (▲R ∸ ∇R) ⊎ △R
@@ -137,6 +149,10 @@ func (m *Manager) Execute(t txn.Txn) error {
 				tb.Data().AddBag(u.Insert)
 			}
 		}
+		// Co-partitioned base mirrors (sharded views) receive the same
+		// effective deltas, routed per shard, so each mirror group stays
+		// exactly its base's hash slice.
+		m.updateMirrors(nt)
 		return nil
 	}
 	if len(lockMVs) > 0 {

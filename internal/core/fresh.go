@@ -72,7 +72,8 @@ func (m *Manager) currentExpr(v *View) (algebra.Expr, error) {
 	case Immediate:
 		return cur, nil
 	case DiffTables, Combined:
-		cur, err = applyDelta(cur, m.baseExpr(v.dtDel), m.baseExpr(v.dtAdd))
+		dd, da := m.diffExprs(v) // ⊎-of-shards when the view is sharded
+		cur, err = applyDelta(cur, dd, da)
 		if err != nil {
 			return nil, err
 		}

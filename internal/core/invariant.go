@@ -108,15 +108,28 @@ func (m *Manager) CheckInvariant(name string) error {
 
 // diffApplied evaluates (MV ∸ ∇MV) ⊎ △MV.
 func (m *Manager) diffApplied(v *View, mv *bag.Bag) (*bag.Bag, error) {
-	dd, err := m.db.Bag(v.dtDel)
-	if err != nil {
-		return nil, err
-	}
-	da, err := m.db.Bag(v.dtAdd)
+	dd, da, err := m.diffBags(v)
 	if err != nil {
 		return nil, err
 	}
 	return bag.UnionAll(bag.Monus(mv, dd), da), nil
+}
+
+// diffBags returns the view's current ∇MV/△MV contents, merging shard
+// slices when the view is sharded.
+func (m *Manager) diffBags(v *View) (*bag.Bag, *bag.Bag, error) {
+	if v.sh != nil {
+		return mergeTables(v.sh.dtDel), mergeTables(v.sh.dtAdd), nil
+	}
+	dd, err := m.db.Bag(v.dtDel)
+	if err != nil {
+		return nil, nil, err
+	}
+	da, err := m.db.Bag(v.dtAdd)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dd, da, nil
 }
 
 // checkMinimality verifies the Section 5.2 minimality invariants:
@@ -128,9 +141,15 @@ func (m *Manager) checkMinimality(v *View, mv *bag.Bag) error {
 		if !ok {
 			continue
 		}
-		ins, err := m.db.Bag(insName)
-		if err != nil {
-			return err
+		var ins *bag.Bag
+		if v.sh != nil {
+			ins = mergeTables(v.sh.logIns[b])
+		} else {
+			var err error
+			ins, err = m.db.Bag(insName)
+			if err != nil {
+				return err
+			}
 		}
 		base, err := m.db.Bag(b)
 		if err != nil {
@@ -141,21 +160,15 @@ func (m *Manager) checkMinimality(v *View, mv *bag.Bag) error {
 		}
 	}
 	if v.dtDel != "" {
-		dd, err := m.db.Bag(v.dtDel)
+		dd, da, err := m.diffBags(v)
 		if err != nil {
 			return err
 		}
 		if !dd.SubBagOf(mv) {
 			return fmt.Errorf("core: minimality violated for %q: ∇MV ⋢ MV", v.Name)
 		}
-		if v.StrongMinimal {
-			da, err := m.db.Bag(v.dtAdd)
-			if err != nil {
-				return err
-			}
-			if !bag.Min(dd, da).Empty() {
-				return fmt.Errorf("core: strong minimality violated for %q: ∇MV min △MV ≠ ∅", v.Name)
-			}
+		if v.StrongMinimal && !bag.Min(dd, da).Empty() {
+			return fmt.Errorf("core: strong minimality violated for %q: ∇MV min △MV ≠ ∅", v.Name)
 		}
 	}
 	return nil

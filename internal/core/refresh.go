@@ -70,7 +70,7 @@ func (m *Manager) Refresh(name string) error {
 				return err
 			}
 			asp.SetAttrs(trace.Int("log_tuples", int64(m.logVolume(v))))
-			if err := m.foldLog(v); err != nil {
+			if err := m.foldLog(v, hold); err != nil {
 				return err
 			}
 			m.consumeWindowIfShared(v)
@@ -119,6 +119,9 @@ func (m *Manager) refreshFromLogLocked(v *View) error {
 // MV := (MV ∸ ∇MV) ⊎ △MV; ∇MV := ∅; △MV := ∅. The Locked suffix is a
 // contract dvmlint enforces: the caller must hold the MV write lock.
 func (m *Manager) applyDiffTablesLocked(v *View) error {
+	if v.sh != nil {
+		return m.applyDiffShardsLocked(v)
+	}
 	if v.met != nil {
 		v.met.refreshTuples.Add(int64(m.diffVolume(v)))
 	}
@@ -162,7 +165,7 @@ func (m *Manager) Propagate(name string) error {
 		return err
 	}
 	psp.SetAttrs(trace.Int("log_tuples", int64(m.logVolume(v))))
-	if err := m.foldLog(v); err != nil {
+	if err := m.foldLog(v, psp); err != nil {
 		return err
 	}
 	m.consumeWindowIfShared(v)
@@ -193,8 +196,12 @@ func (m *Manager) consumeWindowIfShared(v *View) {
 // needs no MV lock, only the manager's single-writer discipline.
 // (It was once named propagateLocked; dvmlint's lock-discipline check
 // flagged the unlocked call from Propagate, and the fix was renaming:
-// the lock was never required.)
-func (m *Manager) foldLog(v *View) error {
+// the lock was never required.) parent anchors the per-shard spans of
+// the sharded path.
+func (m *Manager) foldLog(v *View, parent *trace.Span) error {
+	if v.sh != nil {
+		return m.foldLogSharded(v, parent)
+	}
 	if v.met != nil {
 		v.met.propagateTuples.Add(int64(m.logVolume(v)))
 	}
@@ -269,6 +276,10 @@ func (m *Manager) RefreshRecompute(name string) error {
 		// window is consumed too.
 		if m.shared != nil && (v.Scenario == BaseLogs || v.Scenario == Combined) {
 			m.advanceCursors(v)
+		}
+		if v.sh != nil {
+			m.clearShardStateLocked(v)
+			return nil
 		}
 		for _, b := range v.bases {
 			if n, ok := v.logDel[b]; ok {

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dvm/internal/algebra"
+	"dvm/internal/bag"
+	"dvm/internal/schema"
+	"dvm/internal/txn"
+)
+
+// randomRetailTxn builds a small random transaction against the
+// retailDB schema, deterministic in rng.
+func randomRetailTxn(rng *rand.Rand) txn.Txn {
+	t := txn.Txn{}
+	cust := rng.Intn(10)
+	items := 1 + rng.Intn(4)
+	ins := bag.New()
+	for i := 0; i < items; i++ {
+		qty := rng.Intn(4) // includes zero-quantity rows
+		ins.Add(saleRow(cust, rng.Intn(7), qty), 1)
+	}
+	t["sales"] = txn.Update{Insert: ins}
+	if rng.Intn(4) == 0 {
+		// Delete a (possibly absent) earlier sale; Normalize clamps.
+		t["sales"] = txn.Update{
+			Insert: ins,
+			Delete: bag.Of(saleRow(cust, rng.Intn(7), rng.Intn(4))),
+		}
+	}
+	if rng.Intn(6) == 0 {
+		// Score flip for one customer: delete+insert both score rows so
+		// exactly one of the pair is effective.
+		c := rng.Intn(10)
+		t["customer"] = txn.Update{
+			Delete: bag.Of(schema.Row(c, "cust", "addr", "High"), schema.Row(c, "cust", "addr", "Low")),
+			Insert: bag.Of(schema.Row(c, "cust", "addr", []string{"High", "Low"}[rng.Intn(2)])),
+		}
+	}
+	return t
+}
+
+// runShardedVsSerial drives identical random streams through a serial
+// manager and a sharded one, interleaving the Figure 3 transactions,
+// and checks at every step that the two agree and all invariants hold.
+func runShardedVsSerial(t *testing.T, shards int, opts ...Option) {
+	t.Helper()
+	dbS, defS := retailDB(t)
+	dbP, defP := retailDB(t)
+	serial := NewManager(dbS)
+	parted := NewManager(dbP, WithShards(shards))
+	if parted.Shards() != shards {
+		t.Fatalf("Shards() = %d, want %d", parted.Shards(), shards)
+	}
+	if _, err := serial.DefineView("hv", defS, Combined, opts...); err != nil {
+		t.Fatal(err)
+	}
+	vp, err := parted.DefineView("hv", defP, Combined, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.sh == nil {
+		t.Fatal("Combined view under WithShards must be sharded")
+	}
+
+	check := func(step string) {
+		t.Helper()
+		for _, m := range []*Manager{serial, parted} {
+			if err := m.CheckInvariant("hv"); err != nil {
+				t.Fatalf("%s: %v", step, err)
+			}
+		}
+		if err := parted.CheckShardInvariant("hv"); err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		qs, err := serial.Query("hv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, err := parted.Query("hv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !qs.Equal(qp) {
+			t.Fatalf("%s: sharded MV diverged from serial MV", step)
+		}
+		fs, err := serial.QueryFresh("hv", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := parted.QueryFresh("hv", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fs.Equal(fp) {
+			t.Fatalf("%s: sharded QueryFresh diverged from serial", step)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		tx := randomRetailTxn(rng)
+		if err := serial.Execute(tx); err != nil {
+			t.Fatalf("step %d serial: %v", i, err)
+		}
+		if err := parted.Execute(tx); err != nil {
+			t.Fatalf("step %d sharded: %v", i, err)
+		}
+		switch {
+		case i%7 == 3:
+			for _, m := range []*Manager{serial, parted} {
+				if err := m.Propagate("hv"); err != nil {
+					t.Fatalf("step %d propagate: %v", i, err)
+				}
+			}
+			check("after propagate")
+		case i%11 == 5:
+			for _, m := range []*Manager{serial, parted} {
+				if err := m.PartialRefresh("hv"); err != nil {
+					t.Fatalf("step %d partial refresh: %v", i, err)
+				}
+			}
+			check("after partial refresh")
+		case i%17 == 9:
+			for _, m := range []*Manager{serial, parted} {
+				if err := m.Refresh("hv"); err != nil {
+					t.Fatalf("step %d refresh: %v", i, err)
+				}
+				if err := m.CheckConsistent("hv"); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+			check("after refresh")
+		default:
+			check("after execute")
+		}
+	}
+	for _, m := range []*Manager{serial, parted} {
+		if err := m.RefreshRecompute("hv"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after recompute")
+}
+
+// TestShardedJoinViewMatchesSerial: the Example 1.1 join view under
+// key co-partitioning, at 2 and 4 shards, weak and strong minimality.
+func TestShardedJoinViewMatchesSerial(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		runShardedVsSerial(t, n)
+	}
+	runShardedVsSerial(t, 4, WithStrongMinimality())
+}
+
+// TestShardedJoinPlanIsKeyPartitioned verifies planShards picks the
+// custId equivalence class for the retail join and traces it through
+// the projection.
+func TestShardedJoinPlanIsKeyPartitioned(t *testing.T) {
+	_, def := retailDB(t)
+	keyCols, viewKey, ok := planShards(def)
+	if !ok {
+		t.Fatal("retail join view must get a shard-local plan")
+	}
+	// custId is column 0 in both schemas, and the projection's first
+	// output column.
+	if keyCols["customer"] != 0 || keyCols["sales"] != 0 {
+		t.Fatalf("keyCols = %v, want custId (0) for both bases", keyCols)
+	}
+	if viewKey != 0 {
+		t.Fatalf("viewKey = %d, want 0 (custId)", viewKey)
+	}
+}
+
+// productFreeDef builds ε(σ_{s.quantity≠0}(sales)): a ×-free view with
+// a duplicate-eliminating top, exercising the full-tuple pointwise
+// plan.
+func productFreeDef(t testing.TB) algebra.Expr {
+	t.Helper()
+	salesSch := schema.NewSchema(
+		schema.Col("s.custId", schema.TInt),
+		schema.Col("s.itemNo", schema.TInt),
+		schema.Col("s.quantity", schema.TInt),
+		schema.Col("s.salesPrice", schema.TFloat),
+	)
+	sel, err := algebra.NewSelect(
+		algebra.Neq(algebra.A("s.quantity"), algebra.C(0)),
+		algebra.NewBase("sales", salesSch),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return algebra.NewDupElim(sel)
+}
+
+// TestShardedProductFreeView drives the pointwise (full-tuple hash)
+// plan: ε and σ over one base, no join.
+func TestShardedProductFreeView(t *testing.T) {
+	dbS, _ := retailDB(t)
+	dbP, _ := retailDB(t)
+	serial := NewManager(dbS)
+	parted := NewManager(dbP, WithShards(3))
+	defS := productFreeDef(t)
+	defP := productFreeDef(t)
+
+	keyCols, viewKey, ok := planShards(defS)
+	if !ok || keyCols["sales"] != -1 || viewKey != -1 {
+		t.Fatalf("×-free view must get the full-tuple plan, got %v/%d/%v", keyCols, viewKey, ok)
+	}
+
+	if _, err := serial.DefineView("dv", defS, Combined); err != nil {
+		t.Fatal(err)
+	}
+	vp, err := parted.DefineView("dv", defP, Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.sh == nil || vp.sh.merged {
+		t.Fatal("×-free view must shard with a local plan")
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		tx := randomRetailTxn(rng)
+		delete(tx, "customer") // view only reads sales
+		if err := serial.Execute(tx); err != nil {
+			t.Fatal(err)
+		}
+		if err := parted.Execute(tx); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 2 {
+			if err := serial.Propagate("dv"); err != nil {
+				t.Fatal(err)
+			}
+			if err := parted.Propagate("dv"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := parted.CheckInvariant("dv"); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if err := parted.CheckShardInvariant("dv"); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	for _, m := range []*Manager{serial, parted} {
+		if err := m.Refresh("dv"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs, _ := serial.Query("dv")
+	qp, _ := parted.Query("dv")
+	if !qs.Equal(qp) {
+		t.Fatal("sharded ×-free view diverged from serial")
+	}
+}
+
+// TestShardedMergedFallback: a cross join without a covering equality
+// class must fall back to merged evaluation and still maintain the
+// invariant exactly.
+func TestShardedMergedFallback(t *testing.T) {
+	dbP, _ := retailDB(t)
+	custSch := schema.NewSchema(
+		schema.Col("c.custId", schema.TInt),
+		schema.Col("c.name", schema.TString),
+		schema.Col("c.address", schema.TString),
+		schema.Col("c.score", schema.TString),
+	)
+	salesSch := schema.NewSchema(
+		schema.Col("s.custId", schema.TInt),
+		schema.Col("s.itemNo", schema.TInt),
+		schema.Col("s.quantity", schema.TInt),
+		schema.Col("s.salesPrice", schema.TFloat),
+	)
+	// σ_{score='High'}(customer × sales): no cross-base equality.
+	def, err := algebra.NewSelect(
+		algebra.Eq(algebra.A("c.score"), algebra.C("High")),
+		algebra.NewProduct(algebra.NewBase("customer", custSch), algebra.NewBase("sales", salesSch)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := planShards(def); ok {
+		t.Fatal("equality-free cross join must not get a shard-local plan")
+	}
+	parted := NewManager(dbP, WithShards(2))
+	v, err := parted.DefineView("xv", def, Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.sh == nil || !v.sh.merged {
+		t.Fatal("cross join must shard in merged-fallback mode")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		if err := parted.Execute(randomRetailTxn(rng)); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 1 {
+			if err := parted.Propagate("xv"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := parted.CheckInvariant("xv"); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if err := parted.CheckShardInvariant("xv"); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if err := parted.Refresh("xv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := parted.CheckConsistent("xv"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedRejections: shared logs are incompatible, and SetShards
+// refuses once views exist.
+func TestShardedRejections(t *testing.T) {
+	db, def := retailDB(t)
+	m := NewManager(db, WithSharedLogs(), WithShards(2))
+	if _, err := m.DefineView("hv", def, Combined); err == nil || !strings.Contains(err.Error(), "shared logs") {
+		t.Fatalf("sharding + shared logs must be rejected, got %v", err)
+	}
+
+	db2, def2 := retailDB(t)
+	m2 := NewManager(db2)
+	if err := m2.SetShards(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.DefineView("hv", def2, Combined); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.SetShards(2); err == nil {
+		t.Fatal("SetShards must fail once views exist")
+	}
+}
+
+// TestShardedDropViewCleansUp: dropping the only sharded view removes
+// its shard groups and the mirror tables.
+func TestShardedDropViewCleansUp(t *testing.T) {
+	db, def := retailDB(t)
+	m := NewManager(db, WithShards(2))
+	if _, err := m.DefineView("hv", def, Combined); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.mirrors) == 0 {
+		t.Fatal("join view must register base mirrors")
+	}
+	if err := m.DropView("hv"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.mirrors) != 0 {
+		t.Fatalf("mirrors leaked after DropView: %d", len(m.mirrors))
+	}
+	for _, n := range db.Names() {
+		if strings.HasPrefix(n, "__log_") || strings.HasPrefix(n, "__dmv_") || strings.HasPrefix(n, "__shard_") {
+			t.Fatalf("table %s leaked after DropView", n)
+		}
+	}
+	// Redefinition after drop works (fresh groups, fresh mirrors).
+	if _, err := m.DefineView("hv", def, Combined); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanShardsRejectsUnsafeShapes: a Π below a pointwise operator
+// breaks value alignment and must fall back to merged mode.
+func TestPlanShardsRejectsUnsafeShapes(t *testing.T) {
+	sch := schema.NewSchema(schema.Col("a", schema.TInt), schema.Col("b", schema.TInt))
+	base := algebra.NewBase("r", sch)
+	proj, err := algebra.NewProject([]string{"a"}, nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2, err := algebra.NewProject([]string{"b"}, []string{"a"}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := algebra.NewMonus(proj, base2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := planShards(mon); ok {
+		t.Fatal("Monus over projections must not get a shard-local plan")
+	}
+	// But a top-level Π over a pointwise body is fine.
+	sel, err := algebra.NewSelect(algebra.Neq(algebra.A("a"), algebra.C(0)), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := algebra.NewProject([]string{"a"}, nil, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := planShards(top); !ok {
+		t.Fatal("top-level Π over σ(base) must get the pointwise plan")
+	}
+}

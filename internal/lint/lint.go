@@ -75,8 +75,15 @@ func DefaultConfig() Config {
 			"refreshFromLogLocked", "applyDiffTablesLocked", "RefreshRecompute",
 			// propagate_* family (incl. shared-log window upkeep).
 			"foldLog", "materializeWindow",
-			// View (de)initialization.
-			"DefineView",
+			// Sharded counterparts of the same transactions
+			// (docs/architecture.md "Sharding"): makesafe_C's per-shard
+			// log append + mirror upkeep, propagate_C's staged fold,
+			// refresh_C's per-diff-shard apply and recompute reset.
+			"appendToLogsSharded", "updateMirrors", "foldLogSharded",
+			"clearLogShard", "applyDiffShardsLocked", "clearShardStateLocked",
+			// View (de)initialization (ensureMirror seeds a shard
+			// group's base mirrors at DefineView time).
+			"DefineView", "ensureMirror",
 		},
 		DocPkgs: []string{
 			"dvm/internal/core",

@@ -14,6 +14,14 @@ func populate(r *Registry) {
 	r.Gauge("log_size_tuples", "hv").Set(42)
 	r.Histogram("view_downtime_ns", "av").Observe(900)
 	r.Counter("snapshot_save_bytes", "").Add(10)
+	// Shard-labelled families ("view/sNN"), registered out of shard
+	// order: the zero-padded label must make lexicographic order equal
+	// shard-index order, double digits included.
+	r.Histogram("propagate_shard_ns", "hv/s10").Observe(100)
+	r.Histogram("propagate_shard_ns", "hv/s02").Observe(200)
+	r.Histogram("propagate_shard_ns", "hv/s00").Observe(300)
+	r.Counter("shard_fold_tuples", "hv/s01").Add(5)
+	r.Counter("shard_fold_tuples", "hv/s00").Add(4)
 }
 
 func TestRenderStableOrdering(t *testing.T) {
@@ -22,15 +30,21 @@ func TestRenderStableOrdering(t *testing.T) {
 	out := r.Snapshot().String()
 
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if len(lines) != 2+6 {
-		t.Fatalf("got %d lines, want header+rule+6 rows:\n%s", len(lines), out)
+	if len(lines) != 2+11 {
+		t.Fatalf("got %d lines, want header+rule+11 rows:\n%s", len(lines), out)
 	}
 	// Rows must be sorted by (family, label) — the registry's map order
-	// and the registration order must not leak through.
+	// and the registration order must not leak through. For the
+	// shard-labelled families that also means shard-index order.
 	wantOrder := []string{
 		"log_append_tuples{alpha}",
 		"log_append_tuples{zeta}",
 		"log_size_tuples{hv}",
+		"propagate_shard_ns{hv/s00}",
+		"propagate_shard_ns{hv/s02}",
+		"propagate_shard_ns{hv/s10}",
+		"shard_fold_tuples{hv/s00}",
+		"shard_fold_tuples{hv/s01}",
 		"snapshot_save_bytes",
 		"view_downtime_ns{av}",
 		"view_downtime_ns{hv}",

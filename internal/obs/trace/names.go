@@ -26,6 +26,11 @@ const (
 	// SpanPropagate covers core.Manager.Propagate (fold log into
 	// diff tables; no MV lock).
 	SpanPropagate = "core.propagate"
+	// SpanPropagateShard covers one shard's DEL/ADD evaluation inside a
+	// sharded propagate (child of core.propagate or core.refresh; its
+	// explicit duration is the worker's wall time and is the value
+	// recorded into propagate_shard_ns).
+	SpanPropagateShard = "core.propagate.shard"
 	// SpanPartialRefresh covers core.Manager.PartialRefresh.
 	SpanPartialRefresh = "core.partial_refresh"
 	// SpanRecompute covers core.Manager.RefreshRecompute.
@@ -51,6 +56,7 @@ func Names() []string {
 		SpanMakesafe,
 		SpanPartialRefresh,
 		SpanPropagate,
+		SpanPropagateShard,
 		SpanQuery,
 		SpanRecompute,
 		SpanRefresh,

@@ -40,6 +40,19 @@ func WithTraceSpec(spec string) EngineOption {
 	return func(e *Engine) { e.optErr = trace.Configure(e.mgr.Tracer(), spec) }
 }
 
+// WithShards partitions every Combined view the engine defines into n
+// hash shards (logs, differential tables, and base mirrors; see
+// core.WithShards and docs/architecture.md "Sharding"). LoadEngine
+// applies options before replaying view DDL, so a snapshot restored
+// with WithShards(n) comes back sharded.
+func WithShards(n int) EngineOption {
+	return func(e *Engine) {
+		if err := e.mgr.SetShards(n); err != nil && e.optErr == nil {
+			e.optErr = err
+		}
+	}
+}
+
 // NewEngine creates an engine over a fresh database.
 func NewEngine(opts ...EngineOption) *Engine {
 	db := storage.NewDatabase()

@@ -22,8 +22,22 @@ import (
 //	value: u8 tag | payload (i64 / f64 bits / str / u8 bool; NULL empty)
 //
 // Strings are u32 length + bytes. All integers little-endian.
+//
+// Version 2 ("DVM2") prefixes the table block with the shard-group
+// registry, so a restored database knows which member tables form a
+// sharded logical table and by what key they were partitioned:
+//
+//	magic "DVM2" | u32 specCount
+//	per spec: str logical | u32 n | u32 keyCol+1 (0 encodes full-tuple)
+//	| u32 tableCount | tables as in DVM1
+//
+// Save emits DVM1 when no shard groups exist (byte-identical to the
+// old format) and DVM2 otherwise; Load accepts both.
 
-var snapshotMagic = [4]byte{'D', 'V', 'M', '1'}
+var (
+	snapshotMagic   = [4]byte{'D', 'V', 'M', '1'}
+	snapshotMagicV2 = [4]byte{'D', 'V', 'M', '2'}
+)
 
 const (
 	tagNull byte = iota
@@ -61,8 +75,31 @@ func (db *Database) Save(w io.Writer) error {
 		defer func() { db.metrics.Counter("snapshot_save_bytes", "").Add(cw.n) }()
 	}
 	bw := bufio.NewWriter(cw)
-	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+	specs := db.completeShardSpecs()
+	magic := snapshotMagic
+	if len(specs) > 0 {
+		magic = snapshotMagicV2
+	}
+	if _, err := bw.Write(magic[:]); err != nil {
 		return err
+	}
+	if len(specs) > 0 {
+		if err := writeU32(bw, uint32(len(specs))); err != nil {
+			return err
+		}
+		for _, s := range specs {
+			if err := writeStr(bw, s.Logical); err != nil {
+				return err
+			}
+			if err := writeU32(bw, uint32(s.N)); err != nil {
+				return err
+			}
+			// keyCol is stored shifted by one so -1 (full-tuple hash)
+			// encodes as 0 without a signed field.
+			if err := writeU32(bw, uint32(s.KeyCol+1)); err != nil {
+				return err
+			}
+		}
 	}
 	names := db.Names()
 	if err := writeU32(bw, uint32(len(names))); err != nil {
@@ -121,14 +158,44 @@ func Load(r io.Reader) (*Database, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("storage: load: %w", err)
 	}
-	if magic != snapshotMagic {
+	if magic != snapshotMagic && magic != snapshotMagicV2 {
 		return nil, fmt.Errorf("storage: load: bad magic %q", magic[:])
+	}
+	db := NewDatabase()
+	if magic == snapshotMagicV2 {
+		specCount, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if specCount > 1<<20 {
+			return nil, fmt.Errorf("storage: load: implausible shard-spec count %d", specCount)
+		}
+		for i := uint32(0); i < specCount; i++ {
+			logical, err := readStr(br)
+			if err != nil {
+				return nil, err
+			}
+			n, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			kc, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 || n > 1<<16 {
+				return nil, fmt.Errorf("storage: load: implausible shard count %d for %q", n, logical)
+			}
+			if db.shardSpecs == nil {
+				db.shardSpecs = make(map[string]ShardSpec)
+			}
+			db.shardSpecs[logical] = ShardSpec{Logical: logical, N: int(n), KeyCol: int(kc) - 1}
+		}
 	}
 	tableCount, err := readU32(br)
 	if err != nil {
 		return nil, err
 	}
-	db := NewDatabase()
 	for i := uint32(0); i < tableCount; i++ {
 		name, err := readStr(br)
 		if err != nil {
@@ -192,6 +259,14 @@ func Load(r io.Reader) (*Database, error) {
 			data.Add(tu, int(mult))
 		}
 		tb.Replace(data)
+	}
+	// Shard specs must name member tables that actually arrived.
+	for _, s := range db.shardSpecs {
+		for i := 0; i < s.N; i++ {
+			if !db.Has(ShardName(s.Logical, i)) {
+				return nil, fmt.Errorf("storage: load: shard group %q missing member %s", s.Logical, ShardName(s.Logical, i))
+			}
+		}
 	}
 	return db, nil
 }

@@ -50,6 +50,12 @@ type Retail struct {
 	salesSch *schema.Schema
 	custSch  *schema.Schema
 	live     []schema.Tuple // sales currently in the table, for deletions
+
+	// Basket-mode state: per-customer live purchases (for same-customer
+	// returns) and each customer's current score (for db-independent
+	// score flips). scores is populated by Setup.
+	liveByCust map[int64][]schema.Tuple
+	scores     []string
 }
 
 // NewRetail builds a generator.
@@ -94,6 +100,7 @@ func (r *Retail) Setup(db *storage.Database) error {
 	if err != nil {
 		return err
 	}
+	r.scores = make([]string, r.cfg.Customers)
 	for i := 0; i < r.cfg.Customers; i++ {
 		// The lowest customer ids are the high-value ones; combined with
 		// Zipf skew (which favors low ids) this mimics the paper's
@@ -102,6 +109,7 @@ func (r *Retail) Setup(db *storage.Database) error {
 		if float64(i) < r.cfg.HighFraction*float64(r.cfg.Customers) {
 			score = "High"
 		}
+		r.scores[i] = score
 		row := schema.Row(i, fmt.Sprintf("cust-%d", i), fmt.Sprintf("addr-%d", i), score)
 		if err := cust.Insert(row, 1); err != nil {
 			return err
@@ -231,3 +239,77 @@ func (r *Retail) ScoreChange(db *storage.Database) (txn.Txn, error) {
 
 // LiveSales reports how many sales rows the generator believes are live.
 func (r *Retail) LiveSales() int { return len(r.live) }
+
+// saleFor builds a random sale row for a fixed customer.
+func (r *Retail) saleFor(cust int64) schema.Tuple {
+	qty := 1 + r.rng.Intn(5)
+	if r.rng.Intn(50) == 0 {
+		qty = 0 // occasionally a zero-quantity row, filtered by the view
+	}
+	return schema.Row(
+		cust,
+		int64(r.rng.Intn(r.cfg.Items)),
+		int64(qty),
+		float64(1+r.rng.Intn(10000))/100,
+	)
+}
+
+// Basket returns one point-of-sale transaction in the Example 1.1
+// sense: a single Zipf-picked customer buys minItems..maxItems items,
+// and with probability returnProb also returns one earlier purchase of
+// THEIR OWN (corrections stay customer-local, like a real register).
+// This single-customer locality is what makes sharded maintenance
+// cheap: a basket's log entries land in exactly one shard when the
+// shard key is the customer id.
+//
+// Basket tracks its own per-customer live set; do not interleave it
+// with MixedBatch deletions in one run (the two trackers would
+// desynchronize).
+func (r *Retail) Basket(minItems, maxItems int, returnProb float64) txn.Txn {
+	if r.liveByCust == nil {
+		r.liveByCust = make(map[int64][]schema.Tuple)
+	}
+	cust := r.pickCustomer()
+	n := minItems
+	if maxItems > minItems {
+		n += r.rng.Intn(maxItems - minItems + 1)
+	}
+	ins := bag.New()
+	for i := 0; i < n; i++ {
+		row := r.saleFor(cust)
+		ins.Add(row, 1)
+		r.liveByCust[cust] = append(r.liveByCust[cust], row)
+	}
+	u := txn.Update{Insert: ins}
+	if returnProb > 0 && r.rng.Float64() < returnProb {
+		if prev := r.liveByCust[cust]; len(prev) > 0 {
+			j := r.rng.Intn(len(prev))
+			u.Delete = bag.Of(prev[j])
+			prev[j] = prev[len(prev)-1]
+			r.liveByCust[cust] = prev[:len(prev)-1]
+		}
+	}
+	return txn.Txn{"sales": u}
+}
+
+// ScoreFlip returns a transaction flipping one Zipf-picked customer's
+// score, built from the generator's own tracked state (unlike
+// ScoreChange it never reads a database, so the same generator drives
+// identical streams into any number of engines). Requires Setup.
+func (r *Retail) ScoreFlip() (txn.Txn, error) {
+	if len(r.scores) == 0 {
+		return nil, fmt.Errorf("workload: ScoreFlip requires Setup")
+	}
+	i := r.pickCustomer()
+	oldScore := r.scores[i]
+	newScore := "High"
+	if oldScore == "High" {
+		newScore = "Low"
+	}
+	r.scores[i] = newScore
+	name, addr := fmt.Sprintf("cust-%d", i), fmt.Sprintf("addr-%d", i)
+	return txn.Txn{"customer": txn.Update{
+		Delete: bag.Of(schema.Row(i, name, addr, oldScore)),
+		Insert: bag.Of(schema.Row(i, name, addr, newScore)),
+	}}, nil
+}

@@ -45,7 +45,9 @@ func documentedFamilies(t *testing.T) map[string]bool {
 // both directions. Adding a metric without documenting it, or
 // documenting one that no longer exists, fails here.
 func TestObservabilityDocsMatchRegistry(t *testing.T) {
-	eng := dvm.NewEngine()
+	// Two shards so the workload also exercises the sharded maintenance
+	// path and its per-shard metric families.
+	eng := dvm.NewEngine(dvm.WithShards(2))
 	script := `
 CREATE TABLE sales (custId INT, itemNo INT, quantity INT, salesPrice FLOAT);
 CREATE MATERIALIZED VIEW hv REFRESH DEFERRED COMBINED AS

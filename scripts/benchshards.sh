@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# benchshards.sh — the sharded-propagate scaling comparison
+# (see docs/architecture.md "Sharding" and ISSUE acceptance: the
+# 4-shard retail day must beat the serial day's propagate phase).
+#
+# Prints the multi-shard retail day at 1, 2, and 4 shards, then — when
+# a BENCH_*.json baseline exists — re-runs the E15 sweep and fails if
+# any of its view-downtime phases (the single-shard serial config
+# included) regressed more than 2x against the baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for n in 1 2 4; do
+    echo "== dvmbench -shards $n"
+    go run ./cmd/dvmbench -shards "$n"
+done
+
+latest=""
+for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    latest="$f"
+done
+if [ -z "$latest" ]; then
+    echo "bench-shards: no BENCH_*.json baseline found; skipping downtime guard"
+    exit 0
+fi
+echo "== downtime guard (e15 vs $latest)"
+go run ./cmd/dvmbench -exp e15 -json -diff "$latest" > /dev/null

@@ -34,6 +34,8 @@ go test -race ./...
 if [ "${BENCHDIFF:-0}" = "1" ]; then
     echo "== benchdiff"
     ./scripts/benchdiff.sh
+    echo "== bench-shards"
+    ./scripts/benchshards.sh
 fi
 
 echo "== fuzz (bounded)"

@@ -1,0 +1,380 @@
+package dvm_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dvm"
+	"dvm/internal/bag"
+	"dvm/internal/core"
+	"dvm/internal/storage"
+	"dvm/internal/workload"
+)
+
+// shardPair builds a serial manager and an n-shard manager over two
+// independently set-up copies of the same retail state, with two
+// same-seed generators so both receive the identical transaction
+// stream. The view is the Example 1.1 join, named "hv" in both.
+func shardPair(t *testing.T, n int, seed int64) (serial, sharded *core.Manager, wSerial, wSharded *workload.Retail) {
+	t.Helper()
+	cfg := workload.RetailConfig{
+		Customers:    120,
+		HighFraction: 0.25,
+		InitialSales: 600,
+		Items:        60,
+		ZipfS:        1.2,
+		Seed:         seed,
+	}
+	build := func(opts ...core.ManagerOption) (*core.Manager, *workload.Retail) {
+		db := storage.NewDatabase()
+		w := workload.NewRetail(cfg)
+		if err := w.Setup(db); err != nil {
+			t.Fatal(err)
+		}
+		m := core.NewManager(db, opts...)
+		def, err := w.ViewDef()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.DefineView("hv", def, core.Combined); err != nil {
+			t.Fatal(err)
+		}
+		return m, w
+	}
+	serial, wSerial = build()
+	sharded, wSharded = build(core.WithShards(n))
+	return serial, sharded, wSerial, wSharded
+}
+
+// mergedBag returns the contents of a logical table: the table itself
+// when unsharded, or the multiset union of its shard members.
+func mergedBag(t *testing.T, db *storage.Database, logical string) *bag.Bag {
+	t.Helper()
+	if _, ok := db.Sharded(logical); ok {
+		tabs, err := db.ShardTables(logical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := bag.New()
+		for _, tb := range tabs {
+			out.AddBag(tb.Data())
+		}
+		return out
+	}
+	b, err := db.Bag(logical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardSumEqualsUnsharded is the core Σ-equality contract: after
+// identical transactions, every sharded log and differential table
+// sums (⊎ over members) to exactly the serial manager's table — first
+// with logs pending, then after a propagate has folded them into
+// ∇MV/△MV.
+func TestShardSumEqualsUnsharded(t *testing.T) {
+	serial, sharded, ws, wh := shardPair(t, 4, 91)
+
+	for tick := 0; tick < 12; tick++ {
+		txA := ws.Basket(2, 6, 0.2)
+		txB := wh.Basket(2, 6, 0.2)
+		if err := serial.Execute(txA); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Execute(txB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fa, err := ws.ScoreFlip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := wh.ScoreFlip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.Execute(fa); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Execute(fb); err != nil {
+		t.Fatal(err)
+	}
+
+	logical := []string{
+		"__log_del_sales__hv", "__log_ins_sales__hv",
+		"__log_del_customer__hv", "__log_ins_customer__hv",
+		"__dmv_del_hv", "__dmv_add_hv",
+	}
+	check := func(when string) {
+		t.Helper()
+		for _, name := range logical {
+			got := mergedBag(t, sharded.DB(), name)
+			want := mergedBag(t, serial.DB(), name)
+			if !got.Equal(want) {
+				t.Fatalf("%s: Σ shard %s = %v, serial has %v", when, name, got, want)
+			}
+		}
+		if err := sharded.CheckShardInvariant("hv"); err != nil {
+			t.Fatalf("%s: %v", when, err)
+		}
+	}
+	check("logs pending")
+
+	if err := serial.Propagate("hv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Propagate("hv"); err != nil {
+		t.Fatal(err)
+	}
+	check("after propagate")
+
+	if err := serial.Refresh("hv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.Refresh("hv"); err != nil {
+		t.Fatal(err)
+	}
+	check("after refresh")
+	mvS, err := serial.Query("hv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvH, err := sharded.Query("hv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mvS.Equal(mvH) {
+		t.Fatalf("refreshed MVs differ: serial %v, sharded %v", mvS, mvH)
+	}
+}
+
+// TestShardedPoliciesMatchSerial drives the same mixed retail day
+// through serial and 4-shard managers under each policy (1: propagate
+// + refresh_C, 2: propagate + partial_refresh_C, 3: on-demand) and
+// requires identical stale and fresh answers plus clean invariants.
+func TestShardedPoliciesMatchSerial(t *testing.T) {
+	policies := []struct {
+		name string
+		p    core.Policy
+	}{
+		{"policy1", core.Policy{PropagateEvery: 2, RefreshEvery: 10}},
+		{"policy2", core.Policy{PropagateEvery: 2, RefreshEvery: 10, Partial: true}},
+		{"policy3-ondemand", core.Policy{PropagateEvery: 2, OnDemand: true}},
+	}
+	for pi, pol := range policies {
+		t.Run(pol.name, func(t *testing.T) {
+			serial, sharded, ws, wh := shardPair(t, 4, int64(100+pi))
+			rs, err := serial.NewRunner("hv", pol.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rh, err := sharded.NewRunner("hv", pol.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for tick := 1; tick <= 40; tick++ {
+				txA := ws.Basket(2, 6, 0.2)
+				txB := wh.Basket(2, 6, 0.2)
+				if err := serial.Execute(txA); err != nil {
+					t.Fatal(err)
+				}
+				if err := sharded.Execute(txB); err != nil {
+					t.Fatal(err)
+				}
+				if tick%13 == 0 {
+					fa, err := ws.ScoreFlip()
+					if err != nil {
+						t.Fatal(err)
+					}
+					fb, err := wh.ScoreFlip()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := serial.Execute(fa); err != nil {
+						t.Fatal(err)
+					}
+					if err := sharded.Execute(fb); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := rs.Tick(); err != nil {
+					t.Fatal(err)
+				}
+				if err := rh.Tick(); err != nil {
+					t.Fatal(err)
+				}
+				if tick%10 == 0 {
+					fs, err := serial.QueryFresh("hv", nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fh, err := sharded.QueryFresh("hv", nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !fs.Equal(fh) {
+						t.Fatalf("tick %d: fresh answers differ", tick)
+					}
+				}
+			}
+			if pol.p.OnDemand {
+				if err := rs.RefreshNow(); err != nil {
+					t.Fatal(err)
+				}
+				if err := rh.RefreshNow(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			qs, err := serial.Query("hv")
+			if err != nil {
+				t.Fatal(err)
+			}
+			qh, err := sharded.Query("hv")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !qs.Equal(qh) {
+				t.Fatalf("stale answers differ: serial %v, sharded %v", qs, qh)
+			}
+			if err := serial.CheckInvariant("hv"); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.CheckInvariant("hv"); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.CheckShardInvariant("hv"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardedSnapshotRoundTrip covers both persistence paths:
+//
+//  1. storage-level: a sharded manager's whole database (shard members
+//     and their specs) survives Save → Load byte-exactly, including a
+//     second Save producing identical bytes;
+//  2. engine-level: SaveTo → LoadEngine(WithShards) re-materializes a
+//     sharded view from the restored base tables and keeps answering
+//     and propagating correctly.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	t.Run("storage", func(t *testing.T) {
+		_, sharded, _, wh := shardPair(t, 3, 7)
+		for i := 0; i < 8; i++ {
+			if err := sharded.Execute(wh.Basket(2, 5, 0.2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sharded.Propagate("hv"); err != nil {
+			t.Fatal(err)
+		}
+		db := sharded.DB()
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := storage.Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(restored.ShardSpecs()), len(db.ShardSpecs()); got != want {
+			t.Fatalf("restored %d shard specs, want %d", got, want)
+		}
+		for _, spec := range db.ShardSpecs() {
+			r, ok := restored.Sharded(spec.Logical)
+			if !ok || r != spec {
+				t.Fatalf("spec %q: restored %+v, want %+v", spec.Logical, r, spec)
+			}
+		}
+		for _, name := range db.Names() {
+			a, err := db.Bag(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := restored.Bag(name)
+			if err != nil {
+				t.Fatalf("restored database lacks %q: %v", name, err)
+			}
+			if !a.Equal(b) {
+				t.Fatalf("table %q differs after round trip", name)
+			}
+		}
+		var buf2 bytes.Buffer
+		if err := restored.Save(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("second Save is not byte-identical")
+		}
+	})
+
+	t.Run("engine", func(t *testing.T) {
+		e := dvm.NewEngine(dvm.WithShards(2))
+		script := `
+			CREATE TABLE sales (custId INT, itemNo INT, quantity INT);
+			CREATE TABLE customer (custId INT, score STRING);
+			CREATE MATERIALIZED VIEW hv REFRESH DEFERRED COMBINED AS
+				SELECT c.custId, s.itemNo FROM customer c, sales s
+				WHERE c.custId = s.custId AND c.score = 'High' AND s.quantity != 0;
+		`
+		if _, err := e.ExecScript(script); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			stmt := fmt.Sprintf(`INSERT INTO customer VALUES (%d, '%s')`, i, map[bool]string{true: "High", false: "Low"}[i%2 == 0])
+			if _, err := e.Exec(stmt); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Exec(fmt.Sprintf(`INSERT INTO sales VALUES (%d, %d, 1)`, i, 100+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Exec(`PROPAGATE hv`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Exec(`PARTIAL REFRESH hv`); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.SaveTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := dvm.LoadEngine(&buf, dvm.WithShards(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := e.Exec(`SELECT * FROM hv`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Exec(`SELECT * FROM hv`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Rows.Equal(got.Rows) {
+			t.Fatalf("restored view differs: %v vs %v", want.Rows, got.Rows)
+		}
+		// The restored engine's view is sharded and still maintains.
+		if _, err := restored.Exec(`INSERT INTO sales VALUES (0, 999, 2)`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.Exec(`PROPAGATE hv`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.Exec(`REFRESH hv`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.Exec(`CHECK INVARIANT hv`); err != nil {
+			t.Fatal(err)
+		}
+		after, err := restored.Exec(`SELECT * FROM hv`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Rows.Len() != want.Rows.Len()+1 {
+			t.Fatalf("restored view did not pick up the new sale: %d rows, want %d", after.Rows.Len(), want.Rows.Len()+1)
+		}
+	})
+}
