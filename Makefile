@@ -38,11 +38,13 @@ benchdiff:
 	./scripts/benchdiff.sh
 
 # The sharded-propagate scaling comparison: the multi-shard retail day
-# at 1/2/4 shards, plus the E15 downtime guard against the newest
-# BENCH_*.json baseline (single-shard serial config included).
+# at 1/2/4 shards, plus the E15 downtime and E16 compiled-programs
+# guards against the newest BENCH_*.json baseline (single-shard serial
+# config included; guarded phases are view_downtime_ns + txn_exec_ns).
 bench-shards:
 	./scripts/benchshards.sh
 
 fuzz:
 	$(GO) test ./internal/algebra -run '^$$' -fuzz '^FuzzExprParseEval$$' -fuzztime=30s
+	$(GO) test ./internal/algebra -run '^$$' -fuzz '^FuzzCompiledEval$$' -fuzztime=30s
 	$(GO) test ./internal/bag -run '^$$' -fuzz '^FuzzBagOps$$' -fuzztime=30s

@@ -1,16 +1,18 @@
 // Command dvmbench regenerates every experiment in DESIGN.md's
-// per-experiment index (E1–E9) and prints the result tables that
+// per-experiment index (E1–E16) and prints the result tables that
 // EXPERIMENTS.md records.
 //
 // Usage:
 //
 //	dvmbench                    # run all experiments
-//	dvmbench -exp e4            # run one experiment
+//	dvmbench -exp e4            # run one experiment (e16 is the compiled-
+//	                            # vs-interpreted delta-program day)
 //	dvmbench -list              # list experiment ids
 //	dvmbench -json              # emit the reports (tables + obs phase timings) as JSON
 //	dvmbench -trace out.json    # also run a traced Policy-1 retail day and
 //	                            # write its Chrome trace-event file (Perfetto)
-//	dvmbench -diff BENCH_X.json # fail (exit 1) if any downtime phase's max
+//	dvmbench -diff BENCH_X.json # fail (exit 1) if any guarded phase
+//	                            # (view_downtime_ns max, txn_exec_ns p99)
 //	                            # regressed >2x against the baseline
 //	dvmbench -shards 4          # run the multi-shard retail day at 4 shards
 //	                            # (compare against -shards 1; e15 is the sweep)
@@ -33,7 +35,7 @@ import (
 const diffFactor = 2.0
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e1..e9); empty runs all")
+	exp := flag.String("exp", "", "run a single experiment (e1..e16); empty runs all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	asJSON := flag.Bool("json", false, "emit reports as JSON (for BENCH_*.json baselines)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event file of a traced Policy-1 retail day")
@@ -136,8 +138,10 @@ func writeTrace(path string) error {
 	return nil
 }
 
-// diffAgainst compares the fresh reports' downtime phases with a
+// diffAgainst compares the fresh reports' guarded phases with a
 // baseline file, returning an error listing every >2x regression.
+// Suspected regressions get one reproduction run of the implicated
+// experiment before failing the gate (bench.CompareWithRetry).
 func diffAgainst(path string, fresh []*bench.Report) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -147,7 +151,16 @@ func diffAgainst(path string, fresh []*bench.Report) error {
 	if err != nil {
 		return err
 	}
-	if problems := bench.CompareDowntime(baseline, fresh, diffFactor); len(problems) > 0 {
+	rerun := func(id string) (*bench.Report, error) {
+		for _, e := range bench.All() {
+			if strings.EqualFold(e.ID, id) {
+				fmt.Fprintf(os.Stderr, "benchdiff: %s regressed, re-running to confirm\n", id)
+				return e.Run()
+			}
+		}
+		return nil, nil
+	}
+	if problems := bench.CompareWithRetry(baseline, fresh, diffFactor, rerun); len(problems) > 0 {
 		return fmt.Errorf("benchdiff: downtime regression vs %s:\n  %s", path, strings.Join(problems, "\n  "))
 	}
 	return nil

@@ -223,6 +223,12 @@ var WithTraceSpec = sql.WithTraceSpec
 // "Sharding").
 var WithShards = sql.WithShards
 
+// WithInterpretedDeltas disables the delta-program compiler: every
+// maintenance expression is evaluated by the tree-walking interpreter.
+// Useful for differential testing and for measuring the compiler's win
+// (docs/architecture.md "Compiled delta programs").
+var WithInterpretedDeltas = sql.WithInterpretedDeltas
+
 // NewEngine creates a SQL engine over a fresh database.
 func NewEngine(opts ...EngineOption) *Engine { return sql.NewEngine(opts...) }
 

@@ -1,0 +1,319 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvm/internal/bag"
+	"dvm/internal/schema"
+)
+
+// TestCompiledMatchesInterpreted sweeps random expression DAGs and
+// random states through both engines: the interpreter is the oracle the
+// compiled path must reproduce bag-for-bag.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	uni := NewRandomUniverse(3)
+	r := rand.New(rand.NewSource(87))
+	for i := 0; i < 400; i++ {
+		e := uni.RandomQuery(r, 4)
+		st := uni.RandomState(r)
+
+		want, err := Eval(e, st)
+		if err != nil {
+			t.Fatalf("interpret %s: %v", e, err)
+		}
+		prog, err := Compile(e)
+		if err != nil {
+			t.Fatalf("compile %s: %v", e, err)
+		}
+		got, _, err := prog.Eval(nil, st)
+		if err != nil {
+			t.Fatalf("run compiled %s: %v", e, err)
+		}
+		if !got[0].Equal(want) {
+			t.Fatalf("compiled result differs for %s:\n  compiled:    %s\n  interpreted: %s",
+				e, got[0], want)
+		}
+	}
+}
+
+// TestCompiledStateReuse evaluates one program against a sequence of
+// mutating states with a single reused State — the deployment shape in
+// core, where cached join indexes must be invalidated by table versions,
+// never trusted across mutations.
+func TestCompiledStateReuse(t *testing.T) {
+	uni := NewRandomUniverse(3)
+	r := rand.New(rand.NewSource(88))
+	for i := 0; i < 60; i++ {
+		e := uni.RandomQuery(r, 4)
+		prog, err := Compile(e)
+		if err != nil {
+			t.Fatalf("compile %s: %v", e, err)
+		}
+		st := uni.RandomState(r)
+		ps := prog.NewState()
+		for step := 0; step < 6; step++ {
+			want, err := Eval(e, st)
+			if err != nil {
+				t.Fatalf("interpret %s: %v", e, err)
+			}
+			got, _, err := prog.Eval(ps, st)
+			if err != nil {
+				t.Fatalf("run compiled %s: %v", e, err)
+			}
+			if !got[0].Equal(want) {
+				t.Fatalf("step %d: compiled result differs for %s:\n  compiled:    %s\n  interpreted: %s",
+					step, e, got[0], want)
+			}
+			// Mutate the live state in place: some tables change (their
+			// cached indexes must be rebuilt), others stay (theirs must
+			// be reused, not recomputed into wrong answers).
+			for _, name := range uni.Tables {
+				if r.Intn(2) == 0 {
+					continue
+				}
+				del, ins := uni.RandomDelta(r)
+				st[name].AddBag(ins)
+				del.Each(func(tp schema.Tuple, n int) { st[name].Remove(tp, n) })
+			}
+		}
+	}
+}
+
+// TestCompiledSharedRoots compiles a ∇/▲-shaped pair of roots sharing
+// most of their DAG and checks each root against the interpreter, plus
+// that shared nodes are compiled once (DAG dedup, the slot analogue of
+// the interpreter's memo).
+func TestCompiledSharedRoots(t *testing.T) {
+	uni := NewRandomUniverse(2)
+	r := rand.New(rand.NewSource(89))
+	shared := uni.RandomQuery(r, 3)
+	d1, err := NewMonus(shared, NewBase(uni.Tables[0], uni.Sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewUnionAll(shared, NewBase(uni.Tables[1], uni.Sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Roots() != 2 {
+		t.Fatalf("Roots() = %d, want 2", prog.Roots())
+	}
+	st := uni.RandomState(r)
+	got, _, err := prog.Eval(nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range []Expr{d1, d2} {
+		want, err := Eval(e, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got[i].Equal(want) {
+			t.Fatalf("root %d differs: %s vs %s", i, got[i], want)
+		}
+	}
+}
+
+// TestEvalResultsDoNotAlias pins the ownership contract both engines
+// guarantee: mutating a returned bag must never change base tables,
+// literals, or results handed out earlier. This is the regression test
+// for the evaluator alias audit — every leaf shape that could leak
+// (Base straight from storage, Literal straight from the caller) is
+// driven through the paths that return leaves un-transformed.
+func TestEvalResultsDoNotAlias(t *testing.T) {
+	sch := schema.NewSchema(schema.Col("a", schema.TInt), schema.Col("b", schema.TInt))
+	base := bag.New().Add(schema.Row(1, 2), 3)
+	lit := bag.New().Add(schema.Row(7, 7), 1)
+	st := MapSource{"R": base}
+
+	litExpr := NewLiteral(sch, lit)
+	baseExpr := NewBase("R", sch)
+	union, err := NewUnionAll(baseExpr, litExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UnionAll with an empty side short-circuits to the other operand —
+	// the most alias-prone shape.
+	emptyUnion, err := NewUnionAll(baseExpr, Empty(sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exprs := []Expr{litExpr, baseExpr, union, emptyUnion}
+	check := func(name string, eval func(Expr) (*bag.Bag, error)) {
+		baseSnap, litSnap := base.Clone(), lit.Clone()
+		for _, e := range exprs {
+			out, err := eval(e)
+			if err != nil {
+				t.Fatalf("%s eval %s: %v", name, e, err)
+			}
+			snap := out.Clone()
+			out.Add(schema.Row(99, 99), 5)
+			out.Remove(schema.Row(1, 2), 3)
+			if !base.Equal(baseSnap) {
+				t.Fatalf("%s: mutating result of %s changed the base table", name, e)
+			}
+			if !lit.Equal(litSnap) {
+				t.Fatalf("%s: mutating result of %s changed the literal bag", name, e)
+			}
+			// Re-evaluating must reproduce the original answer, i.e. the
+			// mutation did not poison any memo/slot/index cache.
+			again, err := eval(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !again.Equal(snap) {
+				t.Fatalf("%s: mutation of a returned bag leaked into re-evaluation of %s", name, e)
+			}
+		}
+	}
+
+	check("interpreter", func(e Expr) (*bag.Bag, error) { return Eval(e, st) })
+	ev := NewEvaluator(st)
+	check("evaluator", ev.Eval)
+	progs := map[Expr]*Program{}
+	states := map[Expr]*State{}
+	check("compiled", func(e Expr) (*bag.Bag, error) {
+		if progs[e] == nil {
+			prog, err := Compile(e)
+			if err != nil {
+				return nil, err
+			}
+			progs[e], states[e] = prog, prog.NewState()
+		}
+		out, _, err := progs[e].Eval(states[e], st)
+		if err != nil {
+			return nil, err
+		}
+		return out[0], nil
+	})
+}
+
+// TestCompileSnapshotsLiterals pins the documented divergence between
+// the engines: a Program clones literal bags at compile time, so caller
+// mutations of a literal after Compile do not reach the program (the
+// interpreter reads literals live).
+func TestCompileSnapshotsLiterals(t *testing.T) {
+	sch := schema.NewSchema(schema.Col("a", schema.TInt), schema.Col("b", schema.TInt))
+	lit := bag.New().Add(schema.Row(7, 7), 1)
+	e := NewLiteral(sch, lit)
+	prog, err := Compile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := prog.Eval(nil, MapSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit.Add(schema.Row(8, 8), 2)
+	got, _, err := prog.Eval(nil, MapSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Equal(want[0]) {
+		t.Fatalf("literal mutation after Compile reached the program: %s vs %s", got[0], want[0])
+	}
+}
+
+// TestCompiledJoinProbesIndex checks the compiled join actually uses a
+// cached index: a re-evaluation against an unchanged big side must
+// probe far fewer pairs than |L|·|R|.
+func TestCompiledJoinProbesIndex(t *testing.T) {
+	lsch := schema.NewSchema(schema.Col("l.k", schema.TInt), schema.Col("l.v", schema.TInt))
+	rsch := schema.NewSchema(schema.Col("r.k", schema.TInt), schema.Col("r.v", schema.TInt))
+	big, small := bag.New(), bag.New()
+	for i := 0; i < 500; i++ {
+		big.Add(schema.Row(i, i%7), 1)
+	}
+	small.Add(schema.Row(3, 1), 1).Add(schema.Row(4, 2), 2)
+	st := MapSource{"Big": big, "Small": small}
+
+	join, err := JoinOn(NewBase("Big", lsch), NewBase("Small", rsch), Eq(A("l.k"), A("r.k")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := prog.NewState()
+	out, stats, err := prog.Eval(ps, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Eval(join, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Equal(want) {
+		t.Fatalf("join differs: %s vs %s", out[0], want)
+	}
+	if stats.IndexProbeTuples == 0 || stats.IndexProbeTuples > 10 {
+		t.Fatalf("first eval probed %d pairs, want a handful (index-sided join)", stats.IndexProbeTuples)
+	}
+	// Second eval with the unchanged big side: cached index, same answer.
+	out, stats, err = prog.Eval(ps, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Equal(want) {
+		t.Fatalf("cached-index join differs: %s vs %s", out[0], want)
+	}
+	if stats.IndexProbeTuples > 10 {
+		t.Fatalf("cached eval probed %d pairs, want a handful", stats.IndexProbeTuples)
+	}
+}
+
+// TestCompiledIndexSyncsIncrementally checks the cross-evaluation index
+// cache survives base-table mutation: after a small in-place change to
+// the indexed side, the next evaluation catches the index up through
+// the bag's mutation journal (delta-sized build work) instead of
+// rebuilding it from the full table.
+func TestCompiledIndexSyncsIncrementally(t *testing.T) {
+	lsch := schema.NewSchema(schema.Col("l.k", schema.TInt), schema.Col("l.v", schema.TInt))
+	rsch := schema.NewSchema(schema.Col("r.k", schema.TInt), schema.Col("r.v", schema.TInt))
+	big, small := bag.New(), bag.New()
+	for i := 0; i < 500; i++ {
+		big.Add(schema.Row(i, i%7), 1)
+	}
+	small.Add(schema.Row(3, 1), 1)
+	st := MapSource{"Big": big, "Small": small}
+
+	join, err := JoinOn(NewBase("Big", lsch), NewBase("Small", rsch), Eq(A("l.k"), A("r.k")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := prog.NewState()
+	if _, _, err := prog.Eval(ps, st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the indexed side in place: 3 effective changes, journaled.
+	big.Add(schema.Row(500, 0), 1)
+	big.Add(schema.Row(3, 9), 1)
+	big.Remove(schema.Row(4, 4%7), 1)
+
+	out, stats, err := prog.Eval(ps, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Eval(join, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Equal(want) {
+		t.Fatalf("synced-index join differs: %s vs %s", out[0], want)
+	}
+	if stats.IndexBuildTuples == 0 || stats.IndexBuildTuples > 10 {
+		t.Fatalf("post-mutation eval built %d index tuples, want the 3 journaled changes (a full rebuild would be ~500)", stats.IndexBuildTuples)
+	}
+}

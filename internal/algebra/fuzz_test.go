@@ -159,3 +159,43 @@ func FuzzExprParseEval(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCompiledEval decodes arbitrary bytes into an expression and a
+// state — the same decoder as FuzzExprParseEval — and checks the
+// compiled engine against the interpreter, for both the raw and the
+// optimized form, and across a State reuse (cached join indexes must
+// not change answers).
+func FuzzCompiledEval(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 1, 3, 7, 2})
+	f.Add([]byte{7, 1, 1, 1, 8, 10, 5, 0, 3, 3, 9, 2, 6, 6})
+	f.Add([]byte{255, 254, 253, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &exprDecoder{data: data, uni: NewRandomUniverse(3)}
+		e := d.expr(5)
+		st := d.state()
+
+		want, err := Eval(e, st)
+		if err != nil {
+			t.Fatalf("Eval(%s): %v", e, err)
+		}
+		for _, form := range []Expr{e, Optimize(e)} {
+			prog, err := Compile(form)
+			if err != nil {
+				t.Fatalf("Compile(%s): %v", form, err)
+			}
+			ps := prog.NewState()
+			for pass := 0; pass < 2; pass++ {
+				got, _, err := prog.Eval(ps, st)
+				if err != nil {
+					t.Fatalf("compiled Eval(%s) pass %d: %v", form, pass, err)
+				}
+				if !got[0].Equal(want) {
+					t.Fatalf("compiled ≠ interpreted for %s (pass %d):\n  compiled:    %s\n  interpreted: %s",
+						form, pass, got[0], want)
+				}
+			}
+		}
+	})
+}

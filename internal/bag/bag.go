@@ -25,7 +25,22 @@ type entry struct {
 // call New. Bags are not safe for concurrent mutation.
 type Bag struct {
 	m    map[string]entry
-	size int // total multiplicity
+	size int    // total multiplicity
+	ver  uint64 // bumped on every mutation; lets caches detect staleness
+	// Mutation journal (enabled by EnableJournal): the effective tuple
+	// deltas applied since version jbase, in order, so derived
+	// structures can catch up incrementally instead of rebuilding.
+	// When jour is non-empty, ver == jbase + len(jour) holds.
+	jour  []jentry
+	jbase uint64
+	jcap  int // 0 = journaling disabled
+}
+
+// jentry records one mutation's effective change: the tuple and the
+// signed multiplicity delta actually applied (after clamping at zero).
+type jentry struct {
+	t schema.Tuple
+	d int
 }
 
 // New returns an empty bag.
@@ -58,32 +73,46 @@ func (b *Bag) Add(t schema.Tuple, n int) *Bag {
 	if n == 0 {
 		return b
 	}
-	k := t.Key()
-	e, ok := b.m[k]
-	if !ok {
-		if n <= 0 {
-			return b
-		}
-		b.m[k] = entry{tuple: t, count: n}
-		b.size += n
+	return b.addKeyed(t.Key(), t, n)
+}
+
+// addKeyed is Add for callers that already hold t's canonical key —
+// iterating another bag's map, or composing a join output's key from
+// its operands' keys — so hot paths skip re-encoding the tuple.
+func (b *Bag) addKeyed(k string, t schema.Tuple, n int) *Bag {
+	if n == 0 {
 		return b
 	}
-	c := e.count + n
-	if c <= 0 {
+	b.ver++
+	e, ok := b.m[k]
+	d := 0 // effective delta after clamping
+	switch {
+	case !ok:
+		if n > 0 {
+			b.m[k] = entry{tuple: t, count: n}
+			b.size += n
+			d = n
+		}
+	case e.count+n <= 0:
 		b.size -= e.count
 		delete(b.m, k)
-		return b
+		d = -e.count
+	default:
+		d = n
+		b.size += n
+		e.count += n
+		b.m[k] = e
 	}
-	b.size += c - e.count
-	e.count = c
-	b.m[k] = e
+	if b.jcap != 0 {
+		b.journal(t, d)
+	}
 	return b
 }
 
 // AddBag folds all of o's contents into b in place.
 func (b *Bag) AddBag(o *Bag) *Bag {
-	for _, e := range o.m {
-		b.Add(e.tuple, e.count)
+	for k, e := range o.m {
+		b.addKeyed(k, e.tuple, e.count)
 	}
 	return b
 }
@@ -95,7 +124,55 @@ func (b *Bag) Remove(t schema.Tuple, n int) *Bag { return b.Add(t, -n) }
 func (b *Bag) Clear() {
 	b.m = make(map[string]entry)
 	b.size = 0
+	b.ver++
+	// A clear is not representable as journal entries; drop the window
+	// so readers behind it rebuild (cheap — the bag is now empty).
+	b.jour = b.jour[:0]
 }
+
+// EnableJournal makes the bag record each subsequent mutation's
+// effective tuple delta, up to cap entries, so derived structures
+// (Index.Sync) can catch up in O(|changes|) instead of rebuilding in
+// O(|bag|). When more than cap mutations accumulate the window resets
+// and stale readers fall back to a rebuild. Idempotent; a larger cap
+// wins. Called automatically by NewIndex.
+func (b *Bag) EnableJournal(cap int) {
+	if cap > b.jcap {
+		b.jcap = cap
+	}
+}
+
+// journal appends one effective mutation. Every version bump while
+// journaling is enabled must append exactly one entry (even a no-op
+// clamp, d == 0), preserving ver == jbase + len(jour).
+func (b *Bag) journal(t schema.Tuple, d int) {
+	if len(b.jour) >= b.jcap {
+		b.jour = b.jour[:0]
+	}
+	if len(b.jour) == 0 {
+		b.jbase = b.ver - 1
+	}
+	b.jour = append(b.jour, jentry{t: t, d: d})
+}
+
+// journalSince returns the effective deltas applied after version v,
+// or ok=false when the journal cannot answer (v predates the current
+// window, or a Clear/overflow dropped it).
+func (b *Bag) journalSince(v uint64) ([]jentry, bool) {
+	if v == b.ver {
+		return nil, true
+	}
+	if len(b.jour) == 0 || v < b.jbase || v > b.ver {
+		return nil, false
+	}
+	return b.jour[v-b.jbase:], true
+}
+
+// Version returns a counter that changes on every mutation of the bag
+// (Add/AddBag/Remove/Clear). Together with the bag's identity it lets
+// derived structures — notably Index — validate cached state cheaply:
+// same *Bag pointer plus same Version means the contents are unchanged.
+func (b *Bag) Version() uint64 { return b.ver }
 
 // Count returns the multiplicity of t.
 func (b *Bag) Count(t schema.Tuple) int { return b.m[t.Key()].count }

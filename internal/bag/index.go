@@ -1,0 +1,155 @@
+package bag
+
+import "dvm/internal/schema"
+
+// IndexEntry is one row stored under an index key: the full tuple, its
+// canonical key (kept so join outputs can compose their keys from the
+// operands' instead of re-encoding), and its multiplicity.
+type IndexEntry struct {
+	Tuple schema.Tuple
+	Key   string
+	Count int
+}
+
+// Index is a hash index over one bag, keyed on a subset of its columns
+// (the join columns). It is a snapshot: built from the bag's contents at
+// construction time and validated against the bag's Version before
+// reuse, so callers may cache an Index across evaluations and rebuild
+// only when the underlying bag actually changed.
+type Index struct {
+	src *Bag
+	ver uint64
+	pos []int
+	m   map[string][]IndexEntry
+	buf []byte // reusable probe-key buffer
+}
+
+// NewIndex builds a hash index over b keyed on the given column
+// positions, and enables b's mutation journal so the index can later
+// be brought up to date incrementally (Sync). The positions slice is
+// retained; callers must not mutate it.
+func NewIndex(b *Bag, positions []int) *Index {
+	ix := &Index{
+		src: b,
+		ver: b.ver,
+		pos: positions,
+		m:   make(map[string][]IndexEntry, len(b.m)),
+	}
+	b.EnableJournal(journalCap(b))
+	var key []byte
+	for k, e := range b.m {
+		key = e.tuple.AppendKeyAt(key[:0], positions)
+		ix.m[string(key)] = append(ix.m[string(key)], IndexEntry{Tuple: e.tuple, Key: k, Count: e.count})
+	}
+	return ix
+}
+
+// journalCap sizes a bag's mutation window relative to the rebuild
+// cost it amortizes: once applying the backlog approaches a quarter of
+// a full rebuild, rebuilding is no longer clearly worse.
+func journalCap(b *Bag) int {
+	if c := b.Distinct() / 4; c > 256 {
+		return c
+	}
+	return 256
+}
+
+// Valid reports whether the index still describes b: it was built over
+// this exact bag (pointer identity) and the bag has not been mutated
+// since (Version match). Holding the *Bag inside the index keeps the
+// pointer from being recycled while the index is cached.
+func (ix *Index) Valid(b *Bag) bool { return ix.src == b && ix.ver == b.ver }
+
+// Sync brings a cached index up to date with b: free when b is
+// unchanged, O(|changes|) via b's mutation journal when the window
+// covers the gap. It returns false when the index describes another
+// bag or the journal cannot answer — the caller should rebuild. The
+// number of journal entries applied is returned for work accounting.
+func (ix *Index) Sync(b *Bag) (applied int, ok bool) {
+	if ix.src != b {
+		return 0, false
+	}
+	if ix.ver == b.ver {
+		return 0, true
+	}
+	ents, ok := b.journalSince(ix.ver)
+	if !ok {
+		return 0, false
+	}
+	for _, e := range ents {
+		ix.apply(e.t, e.d)
+	}
+	ix.ver = b.ver
+	return len(ents), true
+}
+
+// apply folds one effective mutation into the index.
+func (ix *Index) apply(t schema.Tuple, d int) {
+	if d == 0 {
+		return
+	}
+	ix.buf = t.AppendKeyAt(ix.buf[:0], ix.pos)
+	key := string(ix.buf)
+	bucket := ix.m[key]
+	full := t.Key()
+	for i := range bucket {
+		if bucket[i].Key != full {
+			continue
+		}
+		bucket[i].Count += d
+		if bucket[i].Count <= 0 {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			if len(bucket) == 0 {
+				delete(ix.m, key)
+			} else {
+				ix.m[key] = bucket
+			}
+		}
+		return
+	}
+	if d > 0 {
+		ix.m[key] = append(bucket, IndexEntry{Tuple: t, Key: full, Count: d})
+	}
+}
+
+// Positions returns the column positions the index is keyed on.
+func (ix *Index) Positions() []int { return ix.pos }
+
+// Len returns the number of distinct index keys.
+func (ix *Index) Len() int { return len(ix.m) }
+
+// JoinIndexed computes σ_pred(probe × indexed) (or indexed × probe when
+// buildLeft is true) by probing ix with each distinct tuple of probe,
+// keyed on probePos. pred is re-applied to every joined tuple, so the
+// index key only needs to cover an equality subset of the predicate.
+// It returns the join result plus the number of candidate pairs probed —
+// the work actually done, as opposed to the |a|·|b| a rescan would pay.
+func JoinIndexed(probe *Bag, probePos []int, ix *Index, buildLeft bool, pred func(schema.Tuple) bool) (*Bag, int) {
+	out := New()
+	probed := 0
+	buf := ix.buf
+	for kp, ep := range probe.m {
+		buf = ep.tuple.AppendKeyAt(buf[:0], probePos)
+		for _, eb := range ix.m[string(buf)] {
+			probed++
+			// A concat tuple's canonical key is the concatenation of its
+			// halves' keys (per-value self-delimiting encoding), so the
+			// output key is composed, never re-encoded.
+			var joined schema.Tuple
+			var key string
+			if buildLeft {
+				joined = eb.Tuple.Concat(ep.tuple)
+				key = eb.Key + kp
+			} else {
+				joined = ep.tuple.Concat(eb.Tuple)
+				key = kp + eb.Key
+			}
+			if pred(joined) {
+				out.addKeyed(key, joined, ep.count*eb.Count)
+			}
+		}
+	}
+	ix.buf = buf
+	return out, probed
+}

@@ -1,0 +1,100 @@
+package bag
+
+import (
+	"testing"
+
+	"dvm/internal/schema"
+)
+
+func eqJoin(lpos, rpos int, lw int) func(schema.Tuple) bool {
+	return func(t schema.Tuple) bool { return t[lpos].Equal(t[lw+rpos]) }
+}
+
+func TestJoinIndexedMatchesProductSelect(t *testing.T) {
+	left := New().
+		Add(row("a", 1), 2).
+		Add(row("b", 2), 3).
+		Add(row("c", 1), 1)
+	right := New().
+		Add(row(1, "x"), 4).
+		Add(row(2, "y"), 1).
+		Add(row(3, "z"), 5)
+	pred := eqJoin(1, 0, 2) // left[1] == right[0]
+
+	want := ProductSelect(left, right, pred)
+
+	// Index the right side, probe with the left.
+	ix := NewIndex(right, []int{0})
+	got, probed := JoinIndexed(left, []int{1}, ix, false, pred)
+	if !got.Equal(want) {
+		t.Fatalf("probe-left join = %v, want %v", got, want)
+	}
+	if probed >= left.Distinct()*right.Distinct() {
+		t.Fatalf("probed %d pairs, expected fewer than the %d a rescan pays",
+			probed, left.Distinct()*right.Distinct())
+	}
+
+	// Index the left side, probe with the right; output column order
+	// must still be left ++ right.
+	ixl := NewIndex(left, []int{1})
+	got2, _ := JoinIndexed(right, []int{0}, ixl, true, pred)
+	if !got2.Equal(want) {
+		t.Fatalf("probe-right join = %v, want %v", got2, want)
+	}
+}
+
+func TestIndexValidity(t *testing.T) {
+	b := New().Add(row("a", 1), 1)
+	ix := NewIndex(b, []int{0})
+	if !ix.Valid(b) {
+		t.Fatal("fresh index must be valid for its source bag")
+	}
+	other := New().Add(row("a", 1), 1)
+	if ix.Valid(other) {
+		t.Fatal("index must not validate against a different bag, even with equal contents")
+	}
+	b.Add(row("b", 2), 1)
+	if ix.Valid(b) {
+		t.Fatal("index must be invalidated by Add")
+	}
+	ix = NewIndex(b, []int{0})
+	b.Remove(row("b", 2), 1)
+	if ix.Valid(b) {
+		t.Fatal("index must be invalidated by Remove")
+	}
+	ix = NewIndex(b, []int{0})
+	b.Clear()
+	if ix.Valid(b) {
+		t.Fatal("index must be invalidated by Clear")
+	}
+}
+
+func TestIndexKeyMatchesProjectKey(t *testing.T) {
+	// AppendKeyAt must agree byte-for-byte with Project().Key() — the
+	// index relies on that to find probe tuples built the slow way.
+	tup := schema.Row("k", 42, 3.5, true, nil)
+	pos := []int{1, 3, 0}
+	got := string(tup.AppendKeyAt(nil, pos))
+	want := tup.Project(pos).Key()
+	if got != want {
+		t.Fatalf("AppendKeyAt = %q, Project().Key() = %q", got, want)
+	}
+	if full := string(tup.AppendKey(nil)); full != tup.Key() {
+		t.Fatalf("AppendKey = %q, Key() = %q", full, tup.Key())
+	}
+}
+
+func TestJoinIndexedEmptySides(t *testing.T) {
+	empty := New()
+	b := New().Add(row(1, "x"), 2)
+	ix := NewIndex(b, []int{0})
+	out, probed := JoinIndexed(empty, []int{0}, ix, false, func(schema.Tuple) bool { return true })
+	if !out.Empty() || probed != 0 {
+		t.Fatalf("empty probe side: got %v probed=%d", out, probed)
+	}
+	ixe := NewIndex(empty, []int{0})
+	out, probed = JoinIndexed(b, []int{0}, ixe, true, func(schema.Tuple) bool { return true })
+	if !out.Empty() || probed != 0 {
+		t.Fatalf("empty indexed side: got %v probed=%d", out, probed)
+	}
+}

@@ -107,9 +107,10 @@ func Project(a *Bag, f func(schema.Tuple) schema.Tuple) *Bag {
 // Product returns a × b: tuple concatenation, multiplicities multiply.
 func Product(a, b *Bag) *Bag {
 	out := New()
-	for _, ea := range a.m {
-		for _, eb := range b.m {
-			out.Add(ea.tuple.Concat(eb.tuple), ea.count*eb.count)
+	for ka, ea := range a.m {
+		for kb, eb := range b.m {
+			// Concat keys compose: key(s ++ t) = key(s) + key(t).
+			out.addKeyed(ka+kb, ea.tuple.Concat(eb.tuple), ea.count*eb.count)
 		}
 	}
 	return out
@@ -119,11 +120,11 @@ func Product(a, b *Bag) *Bag {
 // the join path used by the evaluator.
 func ProductSelect(a, b *Bag, pred func(schema.Tuple) bool) *Bag {
 	out := New()
-	for _, ea := range a.m {
-		for _, eb := range b.m {
+	for ka, ea := range a.m {
+		for kb, eb := range b.m {
 			t := ea.tuple.Concat(eb.tuple)
 			if pred(t) {
-				out.Add(t, ea.count*eb.count)
+				out.addKeyed(ka+kb, t, ea.count*eb.count)
 			}
 		}
 	}

@@ -28,6 +28,50 @@ func TestCompareDowntimeFlagsRegression(t *testing.T) {
 	}
 }
 
+func TestCompareDowntimeGuardsTxnExec(t *testing.T) {
+	base := []*Report{mkReport("e16",
+		PhaseStat{Name: "compiled x4: txn_exec_ns", Count: 1, P99: time.Millisecond, Max: time.Millisecond})}
+	fresh := []*Report{mkReport("e16",
+		PhaseStat{Name: "compiled x4: txn_exec_ns", Count: 1, P99: 3 * time.Millisecond, Max: 3 * time.Millisecond})}
+	problems := CompareDowntime(base, fresh, 2.0)
+	if len(problems) != 1 {
+		t.Fatalf("txn_exec_ns regression not flagged: %v", problems)
+	}
+}
+
+func TestCompareTxnExecGuardsP99NotMax(t *testing.T) {
+	// A single-transaction outlier (GC pause) blows up Max but not P99;
+	// the per-txn guard must read P99 so one pause can't fail the gate.
+	base := []*Report{mkReport("e16",
+		PhaseStat{Name: "compiled x4: txn_exec_ns", Count: 1000, P99: time.Millisecond, Max: time.Millisecond})}
+	fresh := []*Report{mkReport("e16",
+		PhaseStat{Name: "compiled x4: txn_exec_ns", Count: 1000, P99: 1500 * time.Microsecond, Max: 20 * time.Millisecond})}
+	if problems := CompareDowntime(base, fresh, 2.0); len(problems) != 0 {
+		t.Fatalf("txn_exec_ns max outlier flagged despite stable p99: %v", problems)
+	}
+	// But a genuine p99 regression still trips.
+	fresh[0].Phases[0].P99 = 3 * time.Millisecond
+	if problems := CompareDowntime(base, fresh, 2.0); len(problems) != 1 {
+		t.Fatalf("txn_exec_ns p99 regression not flagged: %v", problems)
+	}
+}
+
+func TestCompareClampsSubFloorBaselines(t *testing.T) {
+	// A lucky 131µs baseline run must not flag ordinary 300µs jitter:
+	// the trip level is clamped to factor·200µs.
+	base := []*Report{mkReport("e16",
+		PhaseStat{Name: "compiled x1: txn_exec_ns", Count: 100, P99: 131 * time.Microsecond})}
+	fresh := []*Report{mkReport("e16",
+		PhaseStat{Name: "compiled x1: txn_exec_ns", Count: 100, P99: 350 * time.Microsecond})}
+	if problems := CompareDowntime(base, fresh, 2.0); len(problems) != 0 {
+		t.Fatalf("sub-floor baseline jitter flagged: %v", problems)
+	}
+	fresh[0].Phases[0].P99 = 900 * time.Microsecond
+	if problems := CompareDowntime(base, fresh, 2.0); len(problems) != 1 {
+		t.Fatalf("real regression over clamped floor not flagged: %v", problems)
+	}
+}
+
 func TestCompareDowntimeCleanRun(t *testing.T) {
 	base := []*Report{mkReport("e4",
 		PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: time.Millisecond})}
@@ -43,7 +87,7 @@ func TestCompareDowntimeIgnoresNoiseAndNewPhases(t *testing.T) {
 		PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: 10 * time.Microsecond})}
 	fresh := []*Report{
 		mkReport("e4",
-			// 5x "regression" but both sides are under the noise floor.
+			// 5x "regression" but the clamped trip level is 2x·200µs.
 			PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: 50 * time.Microsecond},
 			// Phase absent from the baseline: skipped, not flagged.
 			PhaseStat{Name: "view_downtime_ns{other}", Count: 1, Max: time.Second}),
@@ -53,6 +97,46 @@ func TestCompareDowntimeIgnoresNoiseAndNewPhases(t *testing.T) {
 	}
 	if problems := CompareDowntime(base, fresh, 2.0); len(problems) != 0 {
 		t.Fatalf("noise/new phases flagged: %v", problems)
+	}
+}
+
+func TestCompareWithRetry(t *testing.T) {
+	base := []*Report{mkReport("e16",
+		PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: time.Millisecond})}
+	bad := func() []*Report {
+		return []*Report{mkReport("e16",
+			PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: 5 * time.Millisecond})}
+	}
+	good := mkReport("e16",
+		PhaseStat{Name: "view_downtime_ns{hv}", Count: 1, Max: time.Millisecond})
+
+	// Regression clears when the re-run measures clean: noise, not code.
+	var reran []string
+	clear := func(id string) (*Report, error) { reran = append(reran, id); return good, nil }
+	if problems := CompareWithRetry(base, bad(), 2.0, clear); len(problems) != 0 {
+		t.Fatalf("cleared regression still flagged: %v", problems)
+	}
+	if len(reran) != 1 || reran[0] != "e16" {
+		t.Fatalf("rerun calls = %v, want [e16]", reran)
+	}
+
+	// Regression that reproduces fails the gate.
+	repro := func(string) (*Report, error) { return bad()[0], nil }
+	if problems := CompareWithRetry(base, bad(), 2.0, repro); len(problems) != 1 {
+		t.Fatalf("reproduced regression not flagged: %v", problems)
+	}
+
+	// A failed or unavailable re-run keeps the original finding.
+	broken := func(string) (*Report, error) { return nil, nil }
+	if problems := CompareWithRetry(base, bad(), 2.0, broken); len(problems) != 1 {
+		t.Fatalf("nil re-run dropped the finding: %v", problems)
+	}
+
+	// Clean runs never invoke the runner.
+	calls := 0
+	counting := func(string) (*Report, error) { calls++; return nil, nil }
+	if problems := CompareWithRetry(base, []*Report{good}, 2.0, counting); len(problems) != 0 || calls != 0 {
+		t.Fatalf("clean run: problems=%v rerun calls=%d", problems, calls)
 	}
 }
 

@@ -98,6 +98,10 @@ type View struct {
 	// Precompiled makesafe assignments (Figure 3), reused every Execute.
 	safeAssigns []txn.Assignment
 
+	// cd holds the view's compiled delta programs (nil under
+	// WithInterpretedDeltas; see compiled.go).
+	cd *compiledDelta
+
 	// met caches this view's obs instruments (see metrics.go).
 	met *viewMetrics
 
@@ -167,6 +171,11 @@ type Manager struct {
 
 	scratchDel map[string]string // base table -> scratch ∇R table
 	scratchIns map[string]string // base table -> scratch △R table
+
+	// interpretDeltas disables the delta-program compiler: every
+	// maintenance expression is evaluated by the tree-walking
+	// interpreter instead of compiled programs (see compiled.go).
+	interpretDeltas bool
 
 	// slowLogAppend disables the O(|∇R|+|△R|) in-place log fast path,
 	// forcing the algebraic makesafe_BL assignments instead. The two are
@@ -407,11 +416,16 @@ func (m *Manager) DefineView(name string, def algebra.Expr, sc Scenario, opts ..
 		}
 	}
 
+	// Instruments exist before compilation so delta_compile_ns can be
+	// observed (families from a failed define linger at zero; harmless).
+	v.met = newViewMetrics(m.obs, name)
 	if err := m.compile(v); err != nil {
 		return cleanup(err)
 	}
+	if err := m.compilePrograms(v); err != nil {
+		return cleanup(err)
+	}
 
-	v.met = newViewMetrics(m.obs, name)
 	m.views[name] = v
 	m.order = append(m.order, name)
 	return v, nil

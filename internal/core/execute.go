@@ -70,6 +70,7 @@ func (m *Manager) Execute(t txn.Txn) error {
 	// base tables last realizes the simultaneous (T1+T2) semantics while
 	// keeping the base update O(|change|) instead of O(|table|).
 	assigns := make([]txn.Assignment, 0, 4*len(m.order))
+	var compiledViews []*View
 	var lockMVs []string
 	affected := make([]*View, 0, len(m.order))
 	for _, vn := range m.order {
@@ -111,7 +112,13 @@ func (m *Manager) Execute(t txn.Txn) error {
 			}
 			continue
 		}
-		assigns = append(assigns, v.safeAssigns...)
+		if v.cd != nil && v.cd.safe != nil {
+			// Compiled makesafe: the program evaluates and installs
+			// inside the apply closure, alongside the assignment bundle.
+			compiledViews = append(compiledViews, v)
+		} else {
+			assigns = append(assigns, v.safeAssigns...)
+		}
 		if v.Scenario == Immediate {
 			lockMVs = append(lockMVs, v.mvName)
 		}
@@ -128,10 +135,19 @@ func (m *Manager) Execute(t txn.Txn) error {
 	// installs — that blocking is exactly the per-transaction overhead
 	// immediate maintenance imposes.
 	apply := func(parent *trace.Span) error {
-		asp := parent.StartChild(trace.SpanApply, trace.Int("assigns", int64(len(assigns))))
+		asp := parent.StartChild(trace.SpanApply,
+			trace.Int("assigns", int64(len(assigns)+len(compiledViews))))
 		defer asp.End()
 		if err := txn.ApplyAssignments(m.db, assigns); err != nil {
 			return err
+		}
+		// Compiled makesafe programs run here, before the base-table
+		// updates below, so their right-hand sides read the pre-update
+		// state exactly like the assignment bundle.
+		for _, cv := range compiledViews {
+			if err := m.applyCompiledSafe(cv, asp); err != nil {
+				return err
+			}
 		}
 		// Base-table updates, in place: R := (R ∸ ∇R) ⊎ △R with the
 		// effective (weakly minimal) deltas.

@@ -6,32 +6,38 @@ import "dvm/internal/obs"
 // the registry lock. Families and their paper quantities are documented
 // in docs/observability.md (a test enforces the docs stay complete).
 type viewMetrics struct {
-	makesafeNs      *obs.Histogram // per-transaction overhead of makesafe_*
-	logAppendTuples *obs.Counter   // raw tuples appended to logs
-	logSizeTuples   *obs.Gauge     // current log size (▼R ⊎ ▲R over bases)
-	diffSizeTuples  *obs.Gauge     // current differential size (∇MV ⊎ △MV)
-	propagateNs     *obs.Histogram // propagate_C wall time
-	propagateTuples *obs.Counter   // log tuples folded by propagate_C
-	refreshNs       *obs.Histogram // refresh_* wall time
-	refreshTuples   *obs.Counter   // tuples consumed by refresh_*
-	partialNs       *obs.Histogram // partial_refresh_C wall time
-	recomputeNs     *obs.Histogram // full recompute wall time
-	downtimeNs      *obs.Histogram // exclusive MV-lock hold (view downtime)
+	makesafeNs       *obs.Histogram // per-transaction overhead of makesafe_*
+	logAppendTuples  *obs.Counter   // raw tuples appended to logs
+	logSizeTuples    *obs.Gauge     // current log size (▼R ⊎ ▲R over bases)
+	diffSizeTuples   *obs.Gauge     // current differential size (∇MV ⊎ △MV)
+	propagateNs      *obs.Histogram // propagate_C wall time
+	propagateTuples  *obs.Counter   // log tuples folded by propagate_C
+	refreshNs        *obs.Histogram // refresh_* wall time
+	refreshTuples    *obs.Counter   // tuples consumed by refresh_*
+	partialNs        *obs.Histogram // partial_refresh_C wall time
+	recomputeNs      *obs.Histogram // full recompute wall time
+	downtimeNs       *obs.Histogram // exclusive MV-lock hold (view downtime)
+	deltaCompileNs   *obs.Histogram // one-time delta-program compile cost
+	compiledEvalNs   *obs.Histogram // per-evaluation compiled-program wall time
+	indexProbeTuples *obs.Counter   // candidate pairs probed by indexed joins
 }
 
 func newViewMetrics(r *obs.Registry, view string) *viewMetrics {
 	return &viewMetrics{
-		makesafeNs:      r.Histogram("makesafe_ns", view),
-		logAppendTuples: r.Counter("log_append_tuples", view),
-		logSizeTuples:   r.Gauge("log_size_tuples", view),
-		diffSizeTuples:  r.Gauge("diff_size_tuples", view),
-		propagateNs:     r.Histogram("propagate_ns", view),
-		propagateTuples: r.Counter("propagate_tuples", view),
-		refreshNs:       r.Histogram("refresh_ns", view),
-		refreshTuples:   r.Counter("refresh_tuples", view),
-		partialNs:       r.Histogram("partial_refresh_ns", view),
-		recomputeNs:     r.Histogram("recompute_ns", view),
-		downtimeNs:      r.Histogram("view_downtime_ns", view),
+		makesafeNs:       r.Histogram("makesafe_ns", view),
+		logAppendTuples:  r.Counter("log_append_tuples", view),
+		logSizeTuples:    r.Gauge("log_size_tuples", view),
+		diffSizeTuples:   r.Gauge("diff_size_tuples", view),
+		propagateNs:      r.Histogram("propagate_ns", view),
+		propagateTuples:  r.Counter("propagate_tuples", view),
+		refreshNs:        r.Histogram("refresh_ns", view),
+		refreshTuples:    r.Counter("refresh_tuples", view),
+		partialNs:        r.Histogram("partial_refresh_ns", view),
+		recomputeNs:      r.Histogram("recompute_ns", view),
+		downtimeNs:       r.Histogram("view_downtime_ns", view),
+		deltaCompileNs:   r.Histogram("delta_compile_ns", view),
+		compiledEvalNs:   r.Histogram("compiled_eval_ns", view),
+		indexProbeTuples: r.Counter("index_probe_tuples", view),
 	}
 }
 

@@ -49,7 +49,7 @@ func (m *Manager) Refresh(name string) error {
 				return err
 			}
 			asp.SetAttrs(trace.Int("log_tuples", int64(m.logVolume(v))))
-			if err := m.refreshFromLogLocked(v); err != nil {
+			if err := m.refreshFromLogLocked(v, asp); err != nil {
 				return err
 			}
 			m.consumeWindowIfShared(v)
@@ -60,7 +60,7 @@ func (m *Manager) Refresh(name string) error {
 			asp, dsp := m.startDowntimeSpan(v, hold)
 			asp.SetAttrs(trace.Int("diff_tuples", int64(m.diffVolume(v))))
 			defer func() { asp.EndExplicit(dsp.End()) }()
-			return m.applyDiffTablesLocked(v)
+			return m.applyDiffTablesLocked(v, asp)
 		})
 	case Combined:
 		return m.locks.WithWriteSpan([]string{v.mvName}, rsp, func(hold *trace.Span) error {
@@ -75,7 +75,7 @@ func (m *Manager) Refresh(name string) error {
 			}
 			m.consumeWindowIfShared(v)
 			asp.SetAttrs(trace.Int("diff_tuples", int64(m.diffVolume(v))))
-			return m.applyDiffTablesLocked(v)
+			return m.applyDiffTablesLocked(v, asp)
 		})
 	}
 	return fmt.Errorf("core: refresh: unknown scenario %v", v.Scenario)
@@ -100,9 +100,15 @@ func (m *Manager) startDowntimeSpan(v *View, hold *trace.Span) (*trace.Span, obs
 // updating MV from the post-update incremental queries and emptying the
 // log. The Locked suffix is a contract dvmlint enforces: the caller
 // must hold the MV write lock.
-func (m *Manager) refreshFromLogLocked(v *View) error {
+func (m *Manager) refreshFromLogLocked(v *View, parent *trace.Span) error {
 	if v.met != nil {
 		v.met.refreshTuples.Add(int64(m.logVolume(v)))
+	}
+	if v.cd != nil && v.cd.refresh != nil {
+		if err := m.runCompiledAssigns(v, v.cd.refresh, parent); err != nil {
+			return err
+		}
+		return m.clearLogs(v)
 	}
 	upd, err := applyDelta(m.baseExpr(v.mvName), v.blDel, v.blAdd)
 	if err != nil {
@@ -115,15 +121,51 @@ func (m *Manager) refreshFromLogLocked(v *View) error {
 	return txn.ApplyAssignments(m.db, assigns)
 }
 
+// clearLogs empties the view's (non-sharded) log tables in place — the
+// L := ∅ half of refresh_BL / propagate_C on the compiled path, run
+// after the compiled update has installed. Equivalent to the
+// emptyAssign form: clearing carries no right-hand side to stage.
+func (m *Manager) clearLogs(v *View) error {
+	for _, b := range v.bases {
+		dl, err := m.db.Table(v.logDel[b])
+		if err != nil {
+			return err
+		}
+		il, err := m.db.Table(v.logIns[b])
+		if err != nil {
+			return err
+		}
+		dl.Clear()
+		il.Clear()
+	}
+	return nil
+}
+
 // applyDiffTablesLocked implements refresh_DT / partial_refresh_C:
 // MV := (MV ∸ ∇MV) ⊎ △MV; ∇MV := ∅; △MV := ∅. The Locked suffix is a
 // contract dvmlint enforces: the caller must hold the MV write lock.
-func (m *Manager) applyDiffTablesLocked(v *View) error {
+func (m *Manager) applyDiffTablesLocked(v *View, parent *trace.Span) error {
 	if v.sh != nil {
 		return m.applyDiffShardsLocked(v)
 	}
 	if v.met != nil {
 		v.met.refreshTuples.Add(int64(m.diffVolume(v)))
+	}
+	if v.cd != nil && v.cd.apply != nil {
+		if err := m.runCompiledAssigns(v, v.cd.apply, parent); err != nil {
+			return err
+		}
+		dd, err := m.db.Table(v.dtDel)
+		if err != nil {
+			return err
+		}
+		da, err := m.db.Table(v.dtAdd)
+		if err != nil {
+			return err
+		}
+		dd.Clear()
+		da.Clear()
+		return nil
 	}
 	upd, err := applyDelta(m.baseExpr(v.mvName), m.baseExpr(v.dtDel), m.baseExpr(v.dtAdd))
 	if err != nil {
@@ -205,6 +247,12 @@ func (m *Manager) foldLog(v *View, parent *trace.Span) error {
 	if v.met != nil {
 		v.met.propagateTuples.Add(int64(m.logVolume(v)))
 	}
+	if v.cd != nil && v.cd.fold != nil {
+		if err := m.runCompiledAssigns(v, v.cd.fold, parent); err != nil {
+			return err
+		}
+		return m.clearLogs(v)
+	}
 	fold, err := m.foldAssigns(v, v.blDel, v.blAdd)
 	if err != nil {
 		return err
@@ -241,7 +289,7 @@ func (m *Manager) PartialRefresh(name string) error {
 		asp, dsp := m.startDowntimeSpan(v, hold)
 		asp.SetAttrs(trace.Int("diff_tuples", int64(m.diffVolume(v))))
 		defer func() { asp.EndExplicit(dsp.End()) }()
-		return m.applyDiffTablesLocked(v)
+		return m.applyDiffTablesLocked(v, asp)
 	})
 }
 
@@ -266,9 +314,19 @@ func (m *Manager) RefreshRecompute(name string) error {
 	return m.locks.WithWriteSpan([]string{v.mvName}, rcsp, func(hold *trace.Span) error {
 		asp, dsp := m.startDowntimeSpan(v, hold)
 		defer func() { asp.EndExplicit(dsp.End()) }()
-		fresh, err := algebra.Eval(v.Def, m.db)
-		if err != nil {
-			return err
+		var fresh *bag.Bag
+		if v.cd != nil && v.cd.def != nil {
+			outs, err := m.evalCompiled(v, v.cd.def, asp)
+			if err != nil {
+				return err
+			}
+			fresh = outs[0]
+		} else {
+			var err error
+			fresh, err = algebra.Eval(v.Def, m.db)
+			if err != nil {
+				return err
+			}
 		}
 		mv, _ := m.db.Table(v.mvName)
 		mv.Replace(fresh)

@@ -568,13 +568,19 @@ func (m *Manager) updateMirrors(nt txn.Txn) {
 
 // --- propagate: per-shard DEL/ADD with a bounded worker pool ---------
 
-// shardDelta is one shard's staged evaluation result.
+// shardDelta is one shard's staged evaluation result. compiled marks a
+// compiled-program evaluation; evalDur is the eval-only wall time
+// (excluding lock wait) and probed its index-probe count, both observed
+// post-hoc by the coordinator.
 type shardDelta struct {
-	shard int
-	del   *bag.Bag
-	add   *bag.Bag
-	dur   time.Duration
-	err   error
+	shard    int
+	del      *bag.Bag
+	add      *bag.Bag
+	dur      time.Duration
+	err      error
+	compiled bool
+	evalDur  time.Duration
+	probed   int64
 }
 
 // dirtyShards lists the shard indices with a non-empty log slice. An
@@ -702,13 +708,26 @@ func (m *Manager) foldLogSharded(v *View, parent *trace.Span) error {
 		sp := parent.StartChild(trace.SpanPropagateShard,
 			trace.Str("view", v.Name), trace.Str("mode", "merged"))
 		start := time.Now()
-		ev := algebra.NewEvaluator(m.mergedSource(v))
-		d, err := ev.Eval(v.shDel)
-		if err == nil {
-			var a *bag.Bag
-			a, err = ev.Eval(v.shAdd)
+		var err error
+		if cd := v.cd; cd != nil && cd.shard != nil {
+			var outs []*bag.Bag
+			var stats algebra.Stats
+			outs, stats, err = cd.shard.Eval(cd.mergedSt, m.mergedSource(v))
 			if err == nil {
-				results = append(results, shardDelta{shard: -1, del: d, add: a, dur: time.Since(start)})
+				dur := time.Since(start)
+				m.observeCompiled(v, sp, dur, stats.IndexProbeTuples)
+				results = append(results, shardDelta{shard: -1, del: outs[0], add: outs[1], dur: dur})
+			}
+		} else {
+			ev := algebra.NewEvaluator(m.mergedSource(v))
+			var d *bag.Bag
+			d, err = ev.Eval(v.shDel)
+			if err == nil {
+				var a *bag.Bag
+				a, err = ev.Eval(v.shAdd)
+				if err == nil {
+					results = append(results, shardDelta{shard: -1, del: d, add: a, dur: time.Since(start)})
+				}
 			}
 		}
 		sp.EndExplicit(time.Since(start))
@@ -754,6 +773,12 @@ func (m *Manager) foldLogSharded(v *View, parent *trace.Span) error {
 		for j := range results {
 			spans[j].SetAttrs(trace.Int("del_tuples", tupleLen(results[j].del)),
 				trace.Int("add_tuples", tupleLen(results[j].add)))
+			if results[j].compiled && results[j].err == nil {
+				// Post-hoc, coordinator-side emission of the worker's
+				// compiled-eval metrics and span (workers never touch
+				// the tracer or obs families).
+				m.observeCompiled(v, spans[j], results[j].evalDur, results[j].probed)
+			}
 			spans[j].EndExplicit(results[j].dur)
 			if results[j].err != nil {
 				return fmt.Errorf("core: propagate shard %d of %q: %w", dirty[j], v.Name, results[j].err)
@@ -849,7 +874,25 @@ func tupleLen(b *bag.Bag) int64 {
 func (m *Manager) evalShard(v *View, shard int, src shardSource, lockNames []string) shardDelta {
 	start := time.Now()
 	var d, a *bag.Bag
+	var evalDur time.Duration
+	var probed int64
+	compiled := false
 	err := m.locks.WithRead(lockNames, func() error {
+		if cd := v.cd; cd != nil && cd.shard != nil {
+			// Compiled path: the shard's pinned state keeps its join
+			// indexes valid across propagates (each shard is evaluated
+			// by at most one worker at a time).
+			evalStart := time.Now()
+			outs, stats, err := cd.shard.Eval(cd.shardSt[shard], src)
+			evalDur = time.Since(evalStart)
+			if err != nil {
+				return err
+			}
+			d, a = outs[0], outs[1]
+			probed = stats.IndexProbeTuples
+			compiled = true
+			return nil
+		}
 		ev := algebra.NewEvaluator(src)
 		var evErr error
 		if d, evErr = ev.Eval(v.shDel); evErr != nil {
@@ -858,7 +901,8 @@ func (m *Manager) evalShard(v *View, shard int, src shardSource, lockNames []str
 		a, evErr = ev.Eval(v.shAdd)
 		return evErr
 	})
-	return shardDelta{shard: shard, del: d, add: a, dur: time.Since(start), err: err}
+	return shardDelta{shard: shard, del: d, add: a, dur: time.Since(start), err: err,
+		compiled: compiled, evalDur: evalDur, probed: probed}
 }
 
 // clearLogShard empties both log slices of (base, shard) under the

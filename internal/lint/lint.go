@@ -84,6 +84,12 @@ func DefaultConfig() Config {
 			// View (de)initialization (ensureMirror seeds a shard
 			// group's base mirrors at DefineView time).
 			"DefineView", "ensureMirror",
+			// Compiled delta programs: the same Figure 3 transactions
+			// run as fused closures, with the results installed by
+			// Table.Replace (makesafe via applyCompiledSafe inside
+			// Execute's apply closure, refresh/propagate via
+			// runCompiledAssigns; clearLogs resets consumed logs).
+			"runCompiledAssigns", "applyCompiledSafe", "clearLogs",
 		},
 		DocPkgs: []string{
 			"dvm/internal/core",

@@ -31,6 +31,11 @@ const (
 	// explicit duration is the worker's wall time and is the value
 	// recorded into propagate_shard_ns).
 	SpanPropagateShard = "core.propagate.shard"
+	// SpanEvalCompiled covers one compiled delta-program evaluation
+	// (child of the maintenance span that ran it; emitted post-hoc with
+	// an explicit duration, which for shard workers the coordinator
+	// records on their behalf).
+	SpanEvalCompiled = "core.eval.compiled"
 	// SpanPartialRefresh covers core.Manager.PartialRefresh.
 	SpanPartialRefresh = "core.partial_refresh"
 	// SpanRecompute covers core.Manager.RefreshRecompute.
@@ -52,6 +57,7 @@ const (
 func Names() []string {
 	return []string{
 		SpanApply,
+		SpanEvalCompiled,
 		SpanExecute,
 		SpanMakesafe,
 		SpanPartialRefresh,

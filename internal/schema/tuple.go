@@ -88,6 +88,28 @@ func (t Tuple) Key() string {
 	return string(dst)
 }
 
+// AppendKey appends the tuple's canonical key encoding (the same bytes
+// Key returns) to dst and returns the extended slice. It lets hot paths
+// reuse one buffer across rows instead of allocating a string per call.
+func (t Tuple) AppendKey(dst []byte) []byte {
+	for _, v := range t {
+		dst = v.appendKey(dst)
+		dst = append(dst, '|')
+	}
+	return dst
+}
+
+// AppendKeyAt appends the canonical key of the tuple restricted to the
+// given positions — byte-for-byte what t.Project(positions).Key() would
+// produce, without materialising the projected tuple.
+func (t Tuple) AppendKeyAt(dst []byte, positions []int) []byte {
+	for _, p := range positions {
+		dst = t[p].appendKey(dst)
+		dst = append(dst, '|')
+	}
+	return dst
+}
+
 // Concat returns the concatenation t ++ o as a fresh tuple.
 func (t Tuple) Concat(o Tuple) Tuple {
 	c := make(Tuple, 0, len(t)+len(o))

@@ -234,18 +234,19 @@ func (v Value) appendKey(dst []byte) []byte {
 		}
 		return append(dst, 'b', '0')
 	case TInt:
-		if float64(v.i) == math.Trunc(float64(v.i)) && v.i == int64(float64(v.i)) {
-			// Encode through float64 when exactly representable so that
-			// INT k and FLOAT k collide, matching Compare.
-			dst = append(dst, 'f')
-			return strconv.AppendFloat(dst, float64(v.i), 'g', -1, 64)
-		}
 		dst = append(dst, 'i')
 		return strconv.AppendInt(dst, v.i, 10)
 	case TFloat:
 		f := v.f
 		if f == 0 {
 			f = 0 // canonicalize -0.0 so it keys like +0.0 (Compare treats them equal)
+		}
+		if f == math.Trunc(f) && f >= math.MinInt64 && f < math.MaxInt64 {
+			// Encode integer-valued floats through int64 so that INT k and
+			// FLOAT k collide, matching Compare — and so that integer keys
+			// (the common case) pay AppendInt, not shortest-float ryu.
+			dst = append(dst, 'i')
+			return strconv.AppendInt(dst, int64(f), 10)
 		}
 		dst = append(dst, 'f')
 		return strconv.AppendFloat(dst, f, 'g', -1, 64)

@@ -53,6 +53,18 @@ func WithShards(n int) EngineOption {
 	}
 }
 
+// WithInterpretedDeltas makes the engine's manager evaluate every
+// maintenance expression with the tree-walking interpreter instead of
+// compiled delta programs (see core.WithInterpretedDeltas). Intended
+// for differential testing and for benchmarking the compiler's win.
+func WithInterpretedDeltas() EngineOption {
+	return func(e *Engine) {
+		if err := e.mgr.SetInterpretedDeltas(true); err != nil && e.optErr == nil {
+			e.optErr = err
+		}
+	}
+}
+
 // NewEngine creates an engine over a fresh database.
 func NewEngine(opts ...EngineOption) *Engine {
 	db := storage.NewDatabase()

@@ -4,9 +4,10 @@
 # 4-shard retail day must beat the serial day's propagate phase).
 #
 # Prints the multi-shard retail day at 1, 2, and 4 shards, then — when
-# a BENCH_*.json baseline exists — re-runs the E15 sweep and fails if
-# any of its view-downtime phases (the single-shard serial config
-# included) regressed more than 2x against the baseline.
+# a BENCH_*.json baseline exists — re-runs the E15 sweep and the E16
+# compiled-vs-interpreted day, failing if any of their guarded phases
+# (view_downtime_ns max and txn_exec_ns p99, the single-shard serial
+# config included) regressed more than 2x against the baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,3 +27,5 @@ if [ -z "$latest" ]; then
 fi
 echo "== downtime guard (e15 vs $latest)"
 go run ./cmd/dvmbench -exp e15 -json -diff "$latest" > /dev/null
+echo "== compiled-programs guard (e16 vs $latest)"
+go run ./cmd/dvmbench -exp e16 -json -diff "$latest" > /dev/null

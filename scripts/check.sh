@@ -40,6 +40,7 @@ fi
 
 echo "== fuzz (bounded)"
 go test ./internal/algebra -run '^$' -fuzz '^FuzzExprParseEval$' -fuzztime=10s
+go test ./internal/algebra -run '^$' -fuzz '^FuzzCompiledEval$' -fuzztime=10s
 go test ./internal/bag -run '^$' -fuzz '^FuzzBagOps$' -fuzztime=10s
 
 echo "check.sh: all gates passed"
