@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint lint-json doccheck check fuzz benchdiff bench-shards
+.PHONY: build test lint lint-json doccheck check fuzz benchdiff bench-shards profile
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,12 @@ benchdiff:
 # config included; guarded phases are view_downtime_ns + txn_exec_ns).
 bench-shards:
 	./scripts/benchshards.sh
+
+# Capture labeled CPU + heap profiles of the sharded retail day into
+# profiles/ (untracked) and print the dvm_phase attribution summary.
+# SHARDS=8 make profile changes the shard count.
+profile:
+	./scripts/profile.sh
 
 fuzz:
 	$(GO) test ./internal/algebra -run '^$$' -fuzz '^FuzzExprParseEval$$' -fuzztime=30s

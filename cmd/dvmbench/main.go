@@ -16,6 +16,10 @@
 //	                            # regressed >2x against the baseline
 //	dvmbench -shards 4          # run the multi-shard retail day at 4 shards
 //	                            # (compare against -shards 1; e15 is the sweep)
+//	dvmbench -shards 4 -cpuprofile cpu.pprof -memprofile heap.pprof
+//	                            # capture labeled profiles of the run; the CPU
+//	                            # profile gets a dvm_view/dvm_shard/dvm_phase
+//	                            # attribution summary on stderr
 package main
 
 import (
@@ -23,10 +27,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"dvm/internal/bench"
+	"dvm/internal/obs"
+	"dvm/internal/obs/profparse"
 	"dvm/internal/obs/trace"
 )
 
@@ -35,40 +44,76 @@ import (
 const diffFactor = 2.0
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code instead of os.Exit, so the profiling
+// defers (StopCPUProfile, heap write, attribution summary) flush even
+// on failure paths.
+func run() int {
 	exp := flag.String("exp", "", "run a single experiment (e1..e16); empty runs all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	asJSON := flag.Bool("json", false, "emit reports as JSON (for BENCH_*.json baselines)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event file of a traced Policy-1 retail day")
 	diff := flag.String("diff", "", "compare downtime phases against this BENCH_*.json baseline; exit 1 on >2x regression")
 	shards := flag.Int("shards", 0, "run the multi-shard retail day at this shard count (1 = plain serial manager)")
+	cpuprofile := flag.String("cpuprofile", "", "write a labeled CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			summarizeCPUProfile(*cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *shards > 0 {
 		rep, err := bench.ShardDayReport(*shards)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode([]*bench.Report{rep}); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		} else {
 			fmt.Println(rep)
 		}
-		return
+		return 0
 	}
 
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if *exp == "" && !*asJSON && *diff == "" && !*list {
-			return
+			return 0
 		}
 	}
 
@@ -77,7 +122,7 @@ func main() {
 		for _, e := range exps {
 			fmt.Println(e.ID)
 		}
-		return
+		return 0
 	}
 
 	var reports []*bench.Report
@@ -89,7 +134,7 @@ func main() {
 		rep, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		if *asJSON {
 			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
@@ -101,22 +146,80 @@ func main() {
 	}
 	if len(reports) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment named %q; try -list\n", *exp)
-		os.Exit(1)
+		return 1
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *diff != "" {
 		if err := diffAgainst(*diff, reports); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "benchdiff: no downtime regression vs %s\n", *diff)
+	}
+	return 0
+}
+
+// writeHeapProfile forces a GC (so the heap profile reflects live
+// objects, not garbage) and writes the allocs-to-date profile to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	werr := pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", path)
+	return nil
+}
+
+// summarizeCPUProfile re-reads the just-written CPU profile and prints
+// a dvm label attribution summary: how much of the sampled CPU time
+// carries the dvm_phase label, and the per-phase split. This is the
+// quick check that the pprof-label plumbing covered the maintenance
+// regions — `go tool pprof -tags` gives the full drill-down.
+func summarizeCPUProfile(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	p, err := profparse.Parse(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpuprofile summary: %v\n", err)
+		return
+	}
+	// CPU profiles carry [samples/count, cpu/nanoseconds]; index 1 is
+	// nanoseconds.
+	st := p.Attribution(1, obs.LabelPhase, obs.LabelPhase)
+	fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", path)
+	if st.Total == 0 {
+		fmt.Fprintln(os.Stderr, "cpuprofile summary: no samples captured (run too short?)")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cpuprofile summary: %s sampled, %.1f%% labeled with %s\n",
+		time.Duration(st.Total), 100*float64(st.Labeled)/float64(st.Total), obs.LabelPhase)
+	phases := make([]string, 0, len(st.ByValue))
+	for phase := range st.ByValue {
+		if phase != "" {
+			phases = append(phases, phase)
+		}
+	}
+	sort.Slice(phases, func(i, j int) bool { return st.ByValue[phases[i]] > st.ByValue[phases[j]] })
+	for _, phase := range phases {
+		fmt.Fprintf(os.Stderr, "  %s=%s  %v\n", obs.LabelPhase, phase, time.Duration(st.ByValue[phase]))
 	}
 }
 

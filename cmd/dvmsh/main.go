@@ -8,13 +8,16 @@
 //
 // Shell meta-commands start with a backslash on their own line:
 //
-//	\stats [prefix]   print the engine's metrics (docs/observability.md),
-//	                  optionally only families starting with prefix —
-//	                  e.g. \stats shard for the per-shard families
-//	                  (shard_fold_tuples, shard_log_tuples) of a
-//	                  WithShards engine
-//	\trace [n]        print the last n captured trace trees (default 5),
-//	                  newest first (docs/observability.md "Tracing")
+//	\stats [prefix]      print the engine's metrics (docs/observability.md),
+//	                     optionally only families starting with prefix —
+//	                     e.g. \stats shard for the per-shard families
+//	                     (shard_fold_tuples, shard_log_tuples) of a
+//	                     WithShards engine
+//	\stats rate [prefix] print what changed since the previous
+//	                     \stats rate (or shell start): counter/histogram
+//	                     rates per second, gauge deltas
+//	\trace [n]           print the last n captured trace trees (default 5),
+//	                     newest first (docs/observability.md "Tracing")
 //
 // A file of statements can be piped on stdin, or passed with -f.
 package main
@@ -27,7 +30,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"dvm/internal/obs"
 	"dvm/internal/obs/trace"
 	"dvm/internal/sql"
 )
@@ -87,7 +92,7 @@ func main() {
 		}
 		in := bufio.NewScanner(f)
 		in.Buffer(make([]byte, 1<<20), 1<<20)
-		err = runLines(engine, in, false, true)
+		err = runLines(newShell(engine), in, false, true)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -104,7 +109,7 @@ func main() {
 	if interactive {
 		fmt.Println("dvm shell — deferred view maintenance (SIGMOD '96). End statements with ';'.")
 	}
-	if err := runLines(engine, in, interactive, false); err != nil {
+	if err := runLines(newShell(engine), in, interactive, false); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 	}
 	saveAndExit(0)
@@ -114,13 +119,14 @@ func main() {
 // backslash meta-commands execute immediately. With stopOnErr the first
 // statement error aborts (batch -f mode); otherwise errors are printed
 // and the loop continues (interactive mode).
-func runLines(engine *sql.Engine, in *bufio.Scanner, interactive, stopOnErr bool) error {
+func runLines(sh *shell, in *bufio.Scanner, interactive, stopOnErr bool) error {
+	engine := sh.engine
 	var buf strings.Builder
 	prompt(interactive, false)
 	for in.Scan() {
 		line := in.Text()
 		if buf.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), "\\") {
-			metaCommand(os.Stdout, engine, strings.TrimSpace(line))
+			sh.metaCommand(os.Stdout, strings.TrimSpace(line))
 			prompt(interactive, false)
 			continue
 		}
@@ -154,12 +160,39 @@ func runLines(engine *sql.Engine, in *bufio.Scanner, interactive, stopOnErr bool
 	return nil
 }
 
+// shell carries the session state meta-commands need across
+// invocations: the engine plus the snapshot baseline \stats rate
+// diffs against.
+type shell struct {
+	engine *sql.Engine
+	// prevSnap/prevAt are the \stats rate baseline: the registry
+	// snapshot (and wall time) at shell start, advanced by every
+	// \stats rate call so consecutive calls show successive windows.
+	prevSnap obs.Snapshot
+	prevAt   time.Time
+}
+
+// newShell wraps an engine with shell state, capturing the initial
+// \stats rate baseline.
+func newShell(engine *sql.Engine) *shell {
+	return &shell{
+		engine:   engine,
+		prevSnap: engine.Manager().Obs().Snapshot(),
+		prevAt:   time.Now(),
+	}
+}
+
 // metaCommand handles backslash commands (\stats [prefix],
-// \trace [n]), writing output to w.
-func metaCommand(w io.Writer, engine *sql.Engine, cmd string) {
+// \stats rate [prefix], \trace [n]), writing output to w.
+func (sh *shell) metaCommand(w io.Writer, cmd string) {
+	engine := sh.engine
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\stats":
+		if len(fields) > 1 && fields[1] == "rate" {
+			sh.statsRate(w, fields[2:])
+			return
+		}
 		snap := engine.Manager().Obs().Snapshot()
 		if len(fields) > 1 {
 			snap = snap.Filter(fields[1])
@@ -185,6 +218,21 @@ func metaCommand(w io.Writer, engine *sql.Engine, cmd string) {
 	default:
 		fmt.Fprintf(w, "unknown command %s (try \\stats or \\trace)\n", fields[0])
 	}
+}
+
+// statsRate renders the metric movement since the previous baseline
+// (obs.RateString) and advances the baseline, so each call reports the
+// window since the last one. An optional prefix filters both snapshots.
+func (sh *shell) statsRate(w io.Writer, args []string) {
+	cur := sh.engine.Manager().Obs().Snapshot()
+	now := time.Now()
+	prev, dt := sh.prevSnap, now.Sub(sh.prevAt)
+	sh.prevSnap, sh.prevAt = cur, now
+	if len(args) > 0 {
+		prev, cur = prev.Filter(args[0]), cur.Filter(args[0])
+	}
+	fmt.Fprintf(w, "rate over the last %v:\n", dt.Round(time.Millisecond))
+	fmt.Fprint(w, obs.RateString(prev, cur, dt))
 }
 
 func prompt(interactive, continuation bool) {

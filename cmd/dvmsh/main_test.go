@@ -33,7 +33,7 @@ REFRESH big;
 func TestStatsPrefixFilter(t *testing.T) {
 	engine := testEngine(t)
 	var buf strings.Builder
-	metaCommand(&buf, engine, "\\stats lock_")
+	newShell(engine).metaCommand(&buf, "\\stats lock_")
 	out := buf.String()
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if len(lines) < 3 {
@@ -51,23 +51,75 @@ func TestStatsPrefixFilter(t *testing.T) {
 
 	// Unfiltered output must contain families the filter removed.
 	buf.Reset()
-	metaCommand(&buf, engine, "\\stats")
+	newShell(engine).metaCommand(&buf, "\\stats")
 	if !strings.Contains(buf.String(), "view_downtime_ns") {
 		t.Errorf("unfiltered \\stats missing view_downtime_ns:\n%s", buf.String())
 	}
 
 	// A prefix matching nothing yields just the header.
 	buf.Reset()
-	metaCommand(&buf, engine, "\\stats no_such_family")
+	newShell(engine).metaCommand(&buf, "\\stats no_such_family")
 	if got := strings.Count(buf.String(), "\n"); got != 2 {
 		t.Errorf("\\stats no_such_family printed %d lines, want 2 (header+rule):\n%s", got, buf.String())
+	}
+}
+
+func TestStatsRate(t *testing.T) {
+	engine := sql.NewEngine()
+	if err := engine.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sh := newShell(engine) // baseline: empty registry
+	script := `
+CREATE TABLE sales (id INT, amount INT);
+CREATE MATERIALIZED VIEW big REFRESH DEFERRED COMBINED AS
+  SELECT id, amount FROM sales WHERE amount > 100;
+INSERT INTO sales VALUES (1, 500);
+PROPAGATE big;
+REFRESH big;
+`
+	if _, err := engine.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	sh.metaCommand(&buf, "\\stats rate")
+	out := buf.String()
+	if !strings.HasPrefix(out, "rate over the last ") {
+		t.Errorf("\\stats rate missing window header:\n%s", out)
+	}
+	for _, want := range []string{"propagate_ns", "refresh_ns", "/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("\\stats rate missing %q:\n%s", want, out)
+		}
+	}
+
+	// The baseline advanced: with no new work, nothing changed.
+	buf.Reset()
+	sh.metaCommand(&buf, "\\stats rate")
+	if !strings.Contains(buf.String(), "no metric changed") {
+		t.Errorf("idle second window should report no change:\n%s", buf.String())
+	}
+
+	// The prefix argument filters the rate view like plain \stats.
+	if _, err := engine.ExecScript("INSERT INTO sales VALUES (2, 700);PROPAGATE big;"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	sh.metaCommand(&buf, "\\stats rate propagate_")
+	out = buf.String()
+	if !strings.Contains(out, "propagate_ns") {
+		t.Errorf("filtered rate view missing propagate_ns:\n%s", out)
+	}
+	if strings.Contains(out, "txn_exec_ns") {
+		t.Errorf("\\stats rate propagate_ leaked other families:\n%s", out)
 	}
 }
 
 func TestTraceCommand(t *testing.T) {
 	engine := testEngine(t)
 	var buf strings.Builder
-	metaCommand(&buf, engine, "\\trace 3")
+	newShell(engine).metaCommand(&buf, "\\trace 3")
 	out := buf.String()
 	if !strings.Contains(out, "sql.stmt") {
 		t.Errorf("\\trace output missing sql.stmt spans:\n%s", out)
@@ -85,7 +137,7 @@ func TestTraceCommand(t *testing.T) {
 
 	// Bad argument prints usage, not a panic.
 	buf.Reset()
-	metaCommand(&buf, engine, "\\trace zero")
+	newShell(engine).metaCommand(&buf, "\\trace zero")
 	if !strings.Contains(buf.String(), "usage") {
 		t.Errorf("\\trace zero: got %q, want usage message", buf.String())
 	}
@@ -97,7 +149,7 @@ func TestTraceCommandDisabledTracer(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf strings.Builder
-	metaCommand(&buf, engine, "\\trace")
+	newShell(engine).metaCommand(&buf, "\\trace")
 	if !strings.Contains(buf.String(), "no traces captured") {
 		t.Errorf("disabled tracer: got %q", buf.String())
 	}
@@ -106,7 +158,7 @@ func TestTraceCommandDisabledTracer(t *testing.T) {
 func TestUnknownMetaCommand(t *testing.T) {
 	engine := sql.NewEngine()
 	var buf strings.Builder
-	metaCommand(&buf, engine, "\\bogus")
+	newShell(engine).metaCommand(&buf, "\\bogus")
 	if !strings.Contains(buf.String(), "unknown command") {
 		t.Errorf("got %q, want unknown-command message", buf.String())
 	}

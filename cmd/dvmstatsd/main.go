@@ -6,22 +6,32 @@
 // -f SQL script), then serves the engine's registry and tracer on
 // -addr:
 //
-//	GET /stats             JSON snapshot of every metric
+//	GET /stats             JSON snapshot of every metric (?filter=PREFIX)
 //	GET /stats?format=text the aligned table dvmsh \stats prints
+//	GET /metrics           Prometheus text exposition of the registry
 //	GET /trace             JSON list of captured trace summaries
 //	GET /trace?id=42       one full span tree (add &format=text to render)
+//	GET /debug/pprof/      net/http/pprof profiles; CPU samples carry the
+//	                       dvm_view/dvm_shard/dvm_phase labels
 //	GET /healthz           200 ok (liveness probe)
 //
-// The server shuts down gracefully on SIGINT/SIGTERM (in-flight
-// requests get up to 5s to finish).
+// The runtime/metrics bridge (go_* families) polls every -bridge
+// interval; it is stopped — along with any other background poller —
+// by the graceful SIGINT/SIGTERM shutdown (in-flight requests get up
+// to 5s to finish).
 //
 // With -demo it additionally runs a small retail-style workload in a
 // loop (one writer goroutine; the HTTP side only reads atomics), so the
 // histograms and the trace ring keep moving while you watch:
 //
 //	dvmstatsd -demo &
-//	curl 'localhost:7171/stats?format=text'
+//	curl 'localhost:7171/metrics'
 //	curl 'localhost:7171/trace?n=3'
+//
+// Two non-serving modes support tooling: -bridge-families prints the
+// runtime bridge's family list (scripts/check.sh echoes the gauge
+// count), and -once FILE writes one validated /metrics exposition
+// snapshot to FILE and exits (CI uploads it as a failure artifact).
 package main
 
 import (
@@ -30,12 +40,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"dvm/internal/obs"
+	"dvm/internal/obs/runtimebridge"
 	"dvm/internal/obs/trace"
 	"dvm/internal/sql"
 )
@@ -50,7 +62,17 @@ func main() {
 	load := flag.String("load", "", "restore an engine snapshot before serving")
 	demo := flag.Bool("demo", false, "run a looping retail-style workload so metrics keep moving")
 	traceSpec := flag.String("trace", "all", "trace sampling: off|all|rate=N|threshold=DUR (served on /trace)")
+	bridge := flag.Duration("bridge", time.Second, "runtime/metrics bridge poll interval (0 disables the bridge)")
+	bridgeFams := flag.Bool("bridge-families", false, "print the runtime bridge's metric families (name kind) and exit")
+	once := flag.String("once", "", "write one /metrics exposition snapshot to this file and exit")
 	flag.Parse()
+
+	if *bridgeFams {
+		for _, fi := range runtimebridge.Families() {
+			fmt.Printf("%s %s\n", fi.Name, fi.Kind)
+		}
+		return
+	}
 
 	engine := sql.NewEngine(sql.WithTraceSpec(*traceSpec))
 	if err := engine.Err(); err != nil {
@@ -78,6 +100,21 @@ func main() {
 			fatal(fmt.Errorf("script: %w", err))
 		}
 	}
+	if *bridge > 0 {
+		engine.Manager().StartRuntimeBridge(*bridge)
+	}
+
+	if *once != "" {
+		if err := writeMetricsSnapshot(engine, *once); err != nil {
+			fatal(err)
+		}
+		if err := engine.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dvmstatsd: wrote metrics snapshot to %s\n", *once)
+		return
+	}
+
 	if *demo {
 		if err := startDemo(engine); err != nil {
 			fatal(fmt.Errorf("demo: %w", err))
@@ -95,6 +132,11 @@ func main() {
 	if err := serveUntilSignal(srv, ln, sigc, shutdownTimeout); err != nil {
 		fatal(err)
 	}
+	// The HTTP side is drained; now stop the background pollers so the
+	// process exits without leaking the bridge goroutine.
+	if err := engine.Close(); err != nil {
+		fatal(err)
+	}
 	fmt.Println("dvmstatsd: shut down cleanly")
 }
 
@@ -103,15 +145,47 @@ func main() {
 func newMux(engine *sql.Engine) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/stats", obs.Handler(engine.Manager().Obs()))
+	mux.Handle("/metrics", obs.PromHandler(engine.Manager().Obs()))
 	mux.Handle("/trace", trace.Handler(engine.Manager().Tracer()))
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "dvmstatsd — GET /stats (JSON), /stats?format=text, /trace, /healthz")
+		fmt.Fprintln(w, "dvmstatsd — GET /stats (JSON), /stats?format=text, /metrics, /trace, /debug/pprof/, /healthz")
 	})
 	return mux
+}
+
+// writeMetricsSnapshot renders the engine's registry in exposition
+// format, runs the strict validator over it, and writes it to path —
+// the -once mode CI uses to attach a /metrics artifact to failures.
+func writeMetricsSnapshot(engine *sql.Engine, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	snap := engine.Manager().Obs().Snapshot()
+	werr := obs.WriteProm(f, snap)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateExposition(data); err != nil {
+		return fmt.Errorf("snapshot failed exposition validation: %w", err)
+	}
+	return nil
 }
 
 // serveUntilSignal serves on ln until the server fails or a signal

@@ -8,10 +8,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
 
+	"dvm/internal/obs"
 	"dvm/internal/obs/trace"
 	"dvm/internal/sql"
 )
@@ -102,6 +105,114 @@ func TestHealthzAndRoutes(t *testing.T) {
 	}
 	if code, _ := get(t, srv.URL+"/trace?id=bogus"); code != http.StatusBadRequest {
 		t.Errorf("/trace?id=bogus = %d, want 400", code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	engine := statsdEngine(t)
+	engine.Manager().StartRuntimeBridge(time.Hour) // synchronous first poll
+	defer func() {
+		if err := engine.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	srv := httptest.NewServer(newMux(engine))
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics failed the exposition validator: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"# TYPE dvm_view_downtime_ns histogram",
+		`dvm_propagate_ns_count{view="big"} `,
+		"# TYPE dvm_go_goroutines gauge",
+		`dvm_phase_cpu_ns{view="big",phase="propagate"} `,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The ?filter= prefix narrows the exposition like /stats.
+	code, filtered := get(t, srv.URL+"/metrics?filter=go_")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?filter=go_ = %d", code)
+	}
+	if strings.Contains(string(filtered), "dvm_view_downtime_ns") {
+		t.Error("?filter=go_ still exposes view_downtime")
+	}
+	if !strings.Contains(string(filtered), "dvm_go_goroutines") {
+		t.Error("?filter=go_ dropped the go_ families")
+	}
+
+	// /stats must set a Content-Type and honour ?filter= too.
+	resp, err := http.Get(srv.URL + "/stats?filter=propagate_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("/stats Content-Type = %q", ct)
+	}
+	var snap struct {
+		Metrics []struct{ Name string } `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range snap.Metrics {
+		if !strings.HasPrefix(m.Name, "propagate_") {
+			t.Errorf("/stats?filter=propagate_ leaked family %s", m.Name)
+		}
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newMux(statsdEngine(t)))
+	defer srv.Close()
+	code, body := get(t, srv.URL+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK || !strings.Contains(string(body), "goroutine profile") {
+		t.Fatalf("/debug/pprof/goroutine = %d %.60q", code, body)
+	}
+}
+
+// TestShutdownStopsBridge is the leak check for the graceful-shutdown
+// path: starting the bridge and closing the engine (what main does
+// after serveUntilSignal returns) must return the goroutine count to
+// its baseline.
+func TestShutdownStopsBridge(t *testing.T) {
+	before := runtime.NumGoroutine()
+	engine := statsdEngine(t)
+	engine.Manager().StartRuntimeBridge(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	if err := engine.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutine leak after Close: %d, baseline %d", n, before)
+	}
+}
+
+func TestWriteMetricsSnapshot(t *testing.T) {
+	engine := statsdEngine(t)
+	path := t.TempDir() + "/metrics.prom"
+	if err := writeMetricsSnapshot(engine, path); err != nil {
+		t.Fatalf("writeMetricsSnapshot: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(data); err != nil {
+		t.Fatalf("snapshot file invalid: %v", err)
 	}
 }
 

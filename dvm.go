@@ -223,6 +223,13 @@ var WithTraceSpec = sql.WithTraceSpec
 // "Sharding").
 var WithShards = sql.WithShards
 
+// WithRuntimeBridge starts the engine's runtime/metrics bridge: Go
+// runtime health (goroutines, heap, GC pauses, scheduler latency)
+// polled into the obs registry on a ticker, exposed alongside the
+// maintenance families on dvmstatsd's /metrics. Stop with
+// Engine.Close.
+var WithRuntimeBridge = sql.WithRuntimeBridge
+
 // WithInterpretedDeltas disables the delta-program compiler: every
 // maintenance expression is evaluated by the tree-walking interpreter.
 // Useful for differential testing and for measuring the compiler's win

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dvm/internal/bag"
+	"dvm/internal/obs"
 	"dvm/internal/obs/trace"
 	"dvm/internal/schema"
 	"dvm/internal/txn"
@@ -46,6 +47,13 @@ func (m *Manager) Execute(t txn.Txn) error {
 	}
 
 	start := time.Now()
+	// The whole Execute body is one makesafe-phase profiling region. It
+	// spans several views, so the pprof label carries no dvm_view; the
+	// cost is distributed across the affected views' phase accounting
+	// below, mirroring the makesafe_ns share.
+	restoreLabels := obs.SetPhaseLabels("", "", obs.PhaseMakesafe)
+	defer restoreLabels()
+	alloc0 := obs.HeapAllocBytes()
 	xsp := m.startEntrySpan(trace.SpanExecute, trace.Int("tables", int64(len(nt))))
 	defer xsp.End()
 
@@ -195,14 +203,20 @@ func (m *Manager) Execute(t txn.Txn) error {
 	elapsed := time.Since(start)
 	m.txnExecNs.Observe(int64(elapsed))
 	share := elapsed
+	var allocShare int64
+	if a := obs.HeapAllocBytes(); a > alloc0 {
+		allocShare = int64(a - alloc0)
+	}
 	if len(affected) > 1 {
 		share = elapsed / time.Duration(len(affected))
+		allocShare /= int64(len(affected))
 	}
 	for _, v := range affected {
 		v.Stats.MakeSafeOps++
 		v.Stats.MakeSafeTime += share
 		if v.met != nil {
 			v.met.makesafeNs.Observe(int64(share))
+			v.met.phaseAcct(obs.PhaseMakesafe).Add(int64(share), allocShare)
 		}
 		switch v.Scenario {
 		case BaseLogs, Combined:

@@ -20,10 +20,28 @@ type viewMetrics struct {
 	deltaCompileNs   *obs.Histogram // one-time delta-program compile cost
 	compiledEvalNs   *obs.Histogram // per-evaluation compiled-program wall time
 	indexProbeTuples *obs.Counter   // candidate pairs probed by indexed joins
+	// phase maps each Figure-3 phase name to its resource-attribution
+	// pair (phase_cpu_ns / phase_alloc_bytes, label "view/phase"),
+	// created eagerly so the families exist before any maintenance runs.
+	phase map[string]*obs.PhaseAcct
+}
+
+// phaseAcct returns the view's accounting pair for one phase; nil-safe
+// so entry points can attribute unconditionally.
+func (vm *viewMetrics) phaseAcct(phase string) *obs.PhaseAcct {
+	if vm == nil {
+		return nil
+	}
+	return vm.phase[phase]
 }
 
 func newViewMetrics(r *obs.Registry, view string) *viewMetrics {
+	phase := make(map[string]*obs.PhaseAcct, 5)
+	for _, p := range obs.Phases() {
+		phase[p] = obs.NewPhaseAcct(r, view, p)
+	}
 	return &viewMetrics{
+		phase:            phase,
 		makesafeNs:       r.Histogram("makesafe_ns", view),
 		logAppendTuples:  r.Counter("log_append_tuples", view),
 		logSizeTuples:    r.Gauge("log_size_tuples", view),

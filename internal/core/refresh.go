@@ -30,7 +30,9 @@ func (m *Manager) Refresh(name string) error {
 	rsp := m.startEntrySpan(trace.SpanRefresh,
 		trace.Str("view", v.Name), trace.Str("scenario", v.Scenario.String()))
 	sp := obs.StartSpan(v.met.refreshNs)
+	rg := obs.StartRegion(v.met.phaseAcct(obs.PhaseRefresh), v.Name, "", obs.PhaseRefresh)
 	defer func() {
+		rg.End()
 		v.Stats.Refreshes++
 		v.Stats.RefreshTime += time.Since(start)
 		sp.End()
@@ -196,7 +198,9 @@ func (m *Manager) Propagate(name string) error {
 	start := time.Now()
 	psp := m.startEntrySpan(trace.SpanPropagate, trace.Str("view", v.Name))
 	sp := obs.StartSpan(v.met.propagateNs)
+	rg := obs.StartRegion(v.met.phaseAcct(obs.PhasePropagate), v.Name, "", obs.PhasePropagate)
 	defer func() {
+		rg.End()
 		v.Stats.Propagates++
 		v.Stats.PropagateTime += time.Since(start)
 		sp.End()
@@ -278,7 +282,9 @@ func (m *Manager) PartialRefresh(name string) error {
 	start := time.Now()
 	prsp := m.startEntrySpan(trace.SpanPartialRefresh, trace.Str("view", v.Name))
 	sp := obs.StartSpan(v.met.partialNs)
+	rg := obs.StartRegion(v.met.phaseAcct(obs.PhasePartialRefresh), v.Name, "", obs.PhasePartialRefresh)
 	defer func() {
+		rg.End()
 		v.Stats.PartialCount++
 		v.Stats.PartialTime += time.Since(start)
 		sp.End()
@@ -304,7 +310,9 @@ func (m *Manager) RefreshRecompute(name string) error {
 	start := time.Now()
 	rcsp := m.startEntrySpan(trace.SpanRecompute, trace.Str("view", v.Name))
 	sp := obs.StartSpan(v.met.recomputeNs)
+	rg := obs.StartRegion(v.met.phaseAcct(obs.PhaseRecompute), v.Name, "", obs.PhaseRecompute)
 	defer func() {
+		rg.End()
 		v.Stats.Recomputes++
 		v.Stats.RecomputeTime += time.Since(start)
 		sp.End()

@@ -10,6 +10,7 @@ import (
 	"dvm/internal/algebra"
 	"dvm/internal/bag"
 	"dvm/internal/delta"
+	"dvm/internal/obs"
 	"dvm/internal/obs/trace"
 	"dvm/internal/schema"
 	"dvm/internal/storage"
@@ -125,8 +126,12 @@ func mirrorLogical(base string, keyCol int) string {
 	return fmt.Sprintf("__shard_%s__k%d", base, keyCol)
 }
 
+// shardID renders one shard's zero-padded identifier ("s03") — the
+// dvm_shard pprof label value and the shard half of the obs label.
+func shardID(i int) string { return fmt.Sprintf("s%02d", i) }
+
 // shardLabel renders the obs label of one view shard ("v0/s03").
-func shardLabel(view string, i int) string { return fmt.Sprintf("%s/s%02d", view, i) }
+func shardLabel(view string, i int) string { return view + "/" + shardID(i) }
 
 // setupShards creates the sharded physical layout of a Combined view:
 // log shard groups, diff shard groups, per-shard instruments, and (for
@@ -872,6 +877,12 @@ func tupleLen(b *bag.Bag) int64 {
 // the shard's read locks. It only reads shared state and writes only
 // its own result.
 func (m *Manager) evalShard(v *View, shard int, src shardSource, lockNames []string) shardDelta {
+	// Label the worker's whole unit so CPU profiles attribute per-shard
+	// propagate work to (view, shard, phase). Accounting is nil here:
+	// workers run concurrently, so the process-global allocation delta
+	// belongs to the coordinator's propagate region, not to any one
+	// worker.
+	defer obs.StartRegion(nil, v.Name, shardID(shard), obs.PhasePropagate).End()
 	start := time.Now()
 	var d, a *bag.Bag
 	var evalDur time.Duration

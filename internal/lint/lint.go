@@ -39,6 +39,9 @@ type Config struct {
 	// TracePkg is the structured-tracing package; span-discipline
 	// tracks its *Span values and skips the package itself.
 	TracePkg string
+	// ObsPkg is the metrics/labels package; pprof-label accepts its
+	// StartRegion/SetPhaseLabels calls as installing goroutine labels.
+	ObsPkg string
 	// OrderedPkgs are packages whose output ordering matters (they
 	// build reports, snapshots, deltas, or SQL results); map iteration
 	// feeding ordered sinks is flagged there.
@@ -60,6 +63,7 @@ func DefaultConfig() Config {
 		TxnPkg:     "dvm/internal/txn",
 		StoragePkg: "dvm/internal/storage",
 		TracePkg:   "dvm/internal/obs/trace",
+		ObsPkg:     "dvm/internal/obs",
 		OrderedPkgs: []string{
 			"dvm/internal/algebra",
 			"dvm/internal/bench",
@@ -232,6 +236,7 @@ func All() []*Analyzer {
 		analyzerDroppedError,
 		analyzerInvariantTouch,
 		analyzerSpanDiscipline,
+		analyzerPprofLabel,
 		analyzerDocComment,
 	}
 }

@@ -70,6 +70,27 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// ObserveN records n observations of the same value in one shot (the
+// runtime bridge folds runtime/metrics bucket-count deltas in with
+// this). Negative values clamp to zero like Observe; n == 0 is a no-op.
+func (h *Histogram) ObserveN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(n)
+	h.count.Add(int64(n))
+	h.sum.Add(v * int64(n))
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Merge folds another histogram's observations into h (used when
 // aggregating per-label histograms into one family view).
 func (h *Histogram) Merge(o *Histogram) {

@@ -1,17 +1,31 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 )
 
+// snapshotFor takes the registry snapshot, restricted by the request's
+// ?filter= family-name prefix when present — the same prefix filter
+// dvmsh \stats applies via Snapshot.Filter.
+func snapshotFor(r *Registry, req *http.Request) Snapshot {
+	snap := r.Snapshot()
+	if p := req.URL.Query().Get("filter"); p != "" {
+		snap = snap.Filter(p)
+	}
+	return snap
+}
+
 // Handler returns an expvar-style HTTP handler that serves a JSON
 // snapshot of the registry on every request, so long-running workloads
 // (cmd/dvmstatsd, or any embedder) can be scraped. With ?format=text
-// it serves the same aligned table the dvmsh \stats command prints.
+// it serves the same aligned table the dvmsh \stats command prints;
+// ?filter=PREFIX restricts either form to families with that name
+// prefix. The Content-Type header is set before any byte is written.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		snap := r.Snapshot()
+		snap := snapshotFor(r, req)
 		if req.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			if _, err := w.Write([]byte(snap.String())); err != nil {
@@ -19,11 +33,33 @@ func Handler(r *Registry) http.Handler {
 			}
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(snap); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromHandler returns the /metrics handler: the registry snapshot in
+// Prometheus text exposition format (WriteProm), honouring the same
+// ?filter= prefix as Handler. Rendering happens into a buffer first so
+// an error never corrupts a half-written scrape.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := snapshotFor(r, req)
+		var buf bytes.Buffer
+		if err := WriteProm(&buf, snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", promContentType)
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return
 		}
 	})
 }

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandlerFilterParam(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lock_x", "a").Add(1)
+	r.Counter("txn_total", "").Add(2)
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/stats?filter=lock_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := res.Body.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	var snap Snapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Name != "lock_x" {
+		t.Fatalf("?filter=lock_ returned %+v", snap.Metrics)
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("propagate_tuples", "hv").Add(3)
+	r.Histogram("txn_exec_ns", "").Observe(1500)
+
+	srv := httptest.NewServer(PromHandler(r))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := res.Body.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if ct := res.Header.Get("Content-Type"); ct != promContentType {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+
+	res2, err := srv.Client().Get(srv.URL + "/metrics?filter=propagate_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := res2.Body.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	body2, err := io.ReadAll(res2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body2) == string(body) {
+		t.Fatal("?filter= had no effect on /metrics")
+	}
+	if err := ValidateExposition(body2); err != nil {
+		t.Fatalf("filtered exposition invalid: %v\n%s", err, body2)
+	}
+}

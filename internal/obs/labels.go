@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"context"
+	"runtime/metrics"
+	"runtime/pprof"
+	"time"
+)
+
+// Profiler label keys. Every maintenance execution region installs
+// these as runtime/pprof goroutine labels, so CPU (and labeled heap)
+// profiles slice by view, shard, and Figure-2/3 phase — `go tool pprof
+// -tags` on a dvmbench capture answers "which view/phase is burning
+// the cycles" directly. docs/observability.md ("Profiling &
+// attribution") documents the vocabulary.
+const (
+	// LabelView carries the view name a region maintains.
+	LabelView = "dvm_view"
+	// LabelShard carries the zero-padded shard ("s03") a worker owns.
+	LabelShard = "dvm_shard"
+	// LabelPhase carries the Figure-2/3 phase name (one of Phases).
+	LabelPhase = "dvm_phase"
+)
+
+// Maintenance phase names used as the LabelPhase value and as the
+// phase half of the "view/phase" label on the phase_* families.
+const (
+	// PhaseMakesafe is the per-transaction bookkeeping of Execute.
+	PhaseMakesafe = "makesafe"
+	// PhasePropagate is propagate_C (fold logs into diff tables).
+	PhasePropagate = "propagate"
+	// PhaseRefresh is refresh_* (bring MV up to date).
+	PhaseRefresh = "refresh"
+	// PhasePartialRefresh is partial_refresh_C (apply diff tables).
+	PhasePartialRefresh = "partial_refresh"
+	// PhaseRecompute is the naive recompute-from-scratch baseline.
+	PhaseRecompute = "recompute"
+)
+
+// Phases returns every maintenance phase name, in Figure-3 order.
+// Per-(view,phase) accounting families are created eagerly for each of
+// these at view definition, so the families exist (at zero) before any
+// maintenance runs.
+func Phases() []string {
+	return []string{PhaseMakesafe, PhasePropagate, PhaseRefresh, PhasePartialRefresh, PhaseRecompute}
+}
+
+// SetPhaseLabels installs the dvm_view/dvm_shard/dvm_phase pprof
+// labels on the calling goroutine (empty values are omitted) and
+// returns a func that restores the unlabeled state. Maintenance entry
+// points own their goroutine and never nest regions, so restoring to
+// the background label set is exact; goroutines spawned while the
+// labels are installed (shard workers) inherit them.
+func SetPhaseLabels(view, shard, phase string) func() {
+	kv := make([]string, 0, 6)
+	if view != "" {
+		kv = append(kv, LabelView, view)
+	}
+	if shard != "" {
+		kv = append(kv, LabelShard, shard)
+	}
+	if phase != "" {
+		kv = append(kv, LabelPhase, phase)
+	}
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels(kv...)))
+	return func() { pprof.SetGoroutineLabels(context.Background()) }
+}
+
+// heapAllocsMetric is the runtime/metrics cumulative allocation
+// counter Region deltas for phase_alloc_bytes.
+const heapAllocsMetric = "/gc/heap/allocs:bytes"
+
+// HeapAllocBytes returns the process's cumulative heap allocation in
+// bytes (monotone; from runtime/metrics). Regions delta it around a
+// phase to attribute allocation — exact under the manager's
+// single-writer discipline, an upper bound when concurrent readers
+// allocate.
+func HeapAllocBytes() uint64 {
+	s := []metrics.Sample{{Name: heapAllocsMetric}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}
+
+// PhaseAcct accumulates one (view, phase) pair's resource attribution:
+// on-goroutine wall time into phase_cpu_ns and heap allocation deltas
+// into phase_alloc_bytes, both labeled "view/phase". A nil PhaseAcct
+// is inert.
+type PhaseAcct struct {
+	// CPU is the phase_cpu_ns counter (on-goroutine wall nanoseconds).
+	CPU *Counter
+	// Alloc is the phase_alloc_bytes counter (heap bytes allocated).
+	Alloc *Counter
+}
+
+// NewPhaseAcct returns the accounting pair for (view, phase), creating
+// the counters in r under the label "view/phase".
+func NewPhaseAcct(r *Registry, view, phase string) *PhaseAcct {
+	l := view + "/" + phase
+	return &PhaseAcct{
+		CPU:   r.Counter("phase_cpu_ns", l),
+		Alloc: r.Counter("phase_alloc_bytes", l),
+	}
+}
+
+// Add folds an externally measured cost into the pair (Execute uses
+// this to distribute one region's cost across the affected views).
+// Non-positive increments are dropped.
+func (a *PhaseAcct) Add(cpuNs, allocBytes int64) {
+	if a == nil {
+		return
+	}
+	if cpuNs > 0 {
+		a.CPU.Add(cpuNs)
+	}
+	if allocBytes > 0 {
+		a.Alloc.Add(allocBytes)
+	}
+}
+
+// Region is one open attribution region: pprof labels installed on the
+// goroutine plus baseline wall-clock and allocation readings. End
+// restores the labels and folds the deltas into the PhaseAcct. The
+// zero Region is inert.
+type Region struct {
+	acct    *PhaseAcct
+	start   time.Time
+	alloc0  uint64
+	restore func()
+}
+
+// StartRegion installs the (view, shard, phase) pprof labels and opens
+// accounting into acct (nil acct labels without accounting — shard
+// workers use that form, since their allocation would double-count
+// against the coordinator's region). The idiomatic use is
+//
+//	defer obs.StartRegion(acct, view, "", obs.PhasePropagate).End()
+func StartRegion(acct *PhaseAcct, view, shard, phase string) Region {
+	rg := Region{acct: acct, restore: SetPhaseLabels(view, shard, phase)}
+	if acct != nil {
+		rg.start = time.Now()
+		rg.alloc0 = HeapAllocBytes()
+	}
+	return rg
+}
+
+// End restores the goroutine's labels and records the region's wall
+// time and allocation delta into its PhaseAcct.
+func (rg Region) End() {
+	if rg.restore != nil {
+		rg.restore()
+	}
+	if rg.acct == nil {
+		return
+	}
+	var alloc int64
+	if a := HeapAllocBytes(); a > rg.alloc0 {
+		alloc = int64(a - rg.alloc0)
+	}
+	rg.acct.Add(int64(time.Since(rg.start)), alloc)
+}

@@ -1,0 +1,154 @@
+package profparse
+
+import (
+	"bytes"
+	"compress/gzip"
+	"runtime/pprof"
+	"testing"
+)
+
+// pb is a tiny protobuf writer for building test profiles.
+type pb struct{ buf bytes.Buffer }
+
+func (p *pb) varint(v uint64) {
+	for v >= 0x80 {
+		p.buf.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	p.buf.WriteByte(byte(v))
+}
+
+func (p *pb) field(num uint64, wire uint64) { p.varint(num<<3 | wire) }
+
+func (p *pb) intField(num uint64, v uint64) {
+	p.field(num, 0)
+	p.varint(v)
+}
+
+func (p *pb) bytesField(num uint64, b []byte) {
+	p.field(num, 2)
+	p.varint(uint64(len(b)))
+	p.buf.Write(b)
+}
+
+// testProfile encodes a profile with a known string table and samples.
+func testProfile(t *testing.T) []byte {
+	t.Helper()
+	// string_table: index 0 must be "" per the format.
+	strs := []string{"", "dvm_phase", "propagate", "dvm_view", "hv"}
+
+	label := func(key, str uint64) []byte {
+		var l pb
+		l.intField(1, key)
+		l.intField(2, str)
+		return l.buf.Bytes()
+	}
+	sample := func(values []uint64, labels ...[]byte) []byte {
+		var s pb
+		// Packed values (what runtime/pprof emits).
+		var packed pb
+		for _, v := range values {
+			packed.varint(v)
+		}
+		s.bytesField(2, packed.buf.Bytes())
+		for _, l := range labels {
+			s.bytesField(3, l)
+		}
+		return s.buf.Bytes()
+	}
+
+	var prof pb
+	// Fully labeled sample: 10 count, 1000 ns.
+	prof.bytesField(2, sample([]uint64{10, 1000}, label(1, 2), label(3, 4)))
+	// Unlabeled sample: 3 count, 300 ns.
+	prof.bytesField(2, sample([]uint64{3, 300}))
+	for _, s := range strs {
+		prof.bytesField(6, []byte(s))
+	}
+	return prof.buf.Bytes()
+}
+
+func TestParseSynthetic(t *testing.T) {
+	p, err := Parse(testProfile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(p.Samples))
+	}
+	s0 := p.Samples[0]
+	if len(s0.Values) != 2 || s0.Values[1] != 1000 {
+		t.Errorf("sample 0 values = %v, want [10 1000]", s0.Values)
+	}
+	if s0.Labels["dvm_phase"] != "propagate" || s0.Labels["dvm_view"] != "hv" {
+		t.Errorf("sample 0 labels = %v", s0.Labels)
+	}
+	if p.Samples[1].Labels != nil {
+		t.Errorf("sample 1 labels = %v, want none", p.Samples[1].Labels)
+	}
+}
+
+func TestParseGzipped(t *testing.T) {
+	raw := testProfile(t)
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(gz.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(p.Samples))
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	p, err := Parse(testProfile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Attribution(1, "dvm_phase", "dvm_phase")
+	if st.Total != 1300 {
+		t.Errorf("Total = %d, want 1300", st.Total)
+	}
+	if st.Labeled != 1000 {
+		t.Errorf("Labeled = %d, want 1000", st.Labeled)
+	}
+	if st.ByValue["propagate"] != 1000 || st.ByValue[""] != 300 {
+		t.Errorf("ByValue = %v", st.ByValue)
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	raw := testProfile(t)
+	if _, err := Parse(raw[:len(raw)-3]); err == nil {
+		t.Error("truncated profile parsed without error")
+	}
+}
+
+// TestParseRealHeapProfile feeds an actual runtime/pprof output through
+// the parser: the format assumptions (gzip, packed values, string
+// table) must hold against the real writer, not just our encoder.
+func TestParseRealHeapProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.WriteHeapProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Samples) == 0 {
+		t.Skip("heap profile had no samples")
+	}
+	for i, s := range p.Samples {
+		if len(s.Values) == 0 {
+			t.Fatalf("sample %d has no values", i)
+		}
+	}
+}

@@ -91,7 +91,7 @@ func TestHandler(t *testing.T) {
 			t.Error(err)
 		}
 	}()
-	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+	if ct := res.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
 		t.Errorf("Content-Type = %q", ct)
 	}
 	var snap Snapshot

@@ -1,0 +1,248 @@
+// Package runtimebridge polls the Go runtime's runtime/metrics
+// (goroutine count, live heap, GC cycles and pause latencies,
+// scheduler latencies) into an obs.Registry on a ticker, so the
+// engine's own maintenance families and the runtime health that
+// explains them land in one /metrics scrape. A Bridge is started and
+// stopped with its core.Manager (Manager.StartRuntimeBridge /
+// Manager.Close); PollOnce exists so tests and the synchronous
+// first-poll stay deterministic.
+package runtimebridge
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"dvm/internal/obs"
+)
+
+// Family names the bridge registers. Kinds: go_goroutines and
+// go_heap_live_bytes are gauges, go_gc_cycles is a counter,
+// go_gc_pause_ns and go_sched_latency_ns are histograms.
+const (
+	// FamGoroutines is the live-goroutine-count gauge.
+	FamGoroutines = "go_goroutines"
+	// FamHeapLive is the live-heap-bytes gauge.
+	FamHeapLive = "go_heap_live_bytes"
+	// FamGCCycles is the completed-GC-cycles counter.
+	FamGCCycles = "go_gc_cycles"
+	// FamGCPause is the GC stop-the-world pause histogram.
+	FamGCPause = "go_gc_pause_ns"
+	// FamSchedLatency is the goroutine scheduling-latency histogram.
+	FamSchedLatency = "go_sched_latency_ns"
+)
+
+// runtime/metrics sample names the bridge reads.
+const (
+	srcGoroutines = "/sched/goroutines:goroutines"
+	srcHeapLive   = "/memory/classes/heap/objects:bytes"
+	srcGCCycles   = "/gc/cycles/total:gc-cycles"
+	srcGCPause    = "/sched/pauses/total/gc:seconds"
+	srcSchedLat   = "/sched/latencies:seconds"
+)
+
+// FamilyInfo describes one family the bridge exports (for the
+// `dvmstatsd -bridge-families` drift check).
+type FamilyInfo struct {
+	// Name is the obs family name.
+	Name string
+	// Kind is the obs metric kind ("gauge", "counter", "histogram").
+	Kind string
+}
+
+// Families lists every family the bridge registers, in registration
+// order. scripts/check.sh echoes the gauge count from this list so a
+// drifting bridge is visible in the gate output.
+func Families() []FamilyInfo {
+	return []FamilyInfo{
+		{FamGoroutines, "gauge"},
+		{FamHeapLive, "gauge"},
+		{FamGCCycles, "counter"},
+		{FamGCPause, "histogram"},
+		{FamSchedLatency, "histogram"},
+	}
+}
+
+// Bridge owns the polling goroutine and the delta state between
+// polls. Create with New, start the ticker with Start, stop it with
+// Close (idempotent). All instruments are registered at New, so the
+// families exist (at zero) before the first poll.
+type Bridge struct {
+	goroutines *obs.Gauge
+	heapLive   *obs.Gauge
+	gcCycles   *obs.Counter
+	gcPause    *obs.Histogram
+	schedLat   *obs.Histogram
+
+	// samples is the reusable runtime/metrics read buffer; prev* hold
+	// the last poll's cumulative readings for delta folding. All are
+	// touched only under mu (PollOnce may race with Close).
+	mu          sync.Mutex
+	samples     []metrics.Sample
+	prevCycles  uint64
+	prevPause   *metrics.Float64Histogram
+	prevSched   *metrics.Float64Histogram
+	havePrev    bool
+	stop        chan struct{}
+	done        chan struct{}
+	startedOnce bool
+	closedOnce  bool
+}
+
+// New registers the bridge's families in r and returns an unstarted
+// Bridge.
+func New(r *obs.Registry) *Bridge {
+	return &Bridge{
+		goroutines: r.Gauge(FamGoroutines, ""),
+		heapLive:   r.Gauge(FamHeapLive, ""),
+		gcCycles:   r.Counter(FamGCCycles, ""),
+		gcPause:    r.Histogram(FamGCPause, ""),
+		schedLat:   r.Histogram(FamSchedLatency, ""),
+		samples: []metrics.Sample{
+			{Name: srcGoroutines},
+			{Name: srcHeapLive},
+			{Name: srcGCCycles},
+			{Name: srcGCPause},
+			{Name: srcSchedLat},
+		},
+	}
+}
+
+// Start polls once synchronously (so every family carries a real
+// reading immediately) and then launches the ticker goroutine. Start
+// is one-shot: subsequent calls, including after Close, are no-ops.
+func (b *Bridge) Start(interval time.Duration) {
+	b.mu.Lock()
+	if b.startedOnce {
+		b.mu.Unlock()
+		return
+	}
+	b.startedOnce = true
+	b.stop = make(chan struct{})
+	b.done = make(chan struct{})
+	b.mu.Unlock()
+
+	if interval <= 0 {
+		interval = time.Second
+	}
+	b.PollOnce()
+	go b.loop(interval)
+}
+
+// loop is the ticker body; it exits when Close fires stop.
+func (b *Bridge) loop(interval time.Duration) {
+	defer close(b.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+			b.PollOnce()
+		}
+	}
+}
+
+// Close stops the ticker goroutine and waits for it to exit. Safe to
+// call multiple times and on a never-started bridge.
+func (b *Bridge) Close() error {
+	b.mu.Lock()
+	// b.stop must stay non-nil once started: loop re-reads it in its
+	// select, and a receive from a nil channel blocks forever.
+	if b.stop == nil || b.closedOnce {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closedOnce = true
+	stop, done := b.stop, b.done
+	b.mu.Unlock()
+	close(stop)
+	<-done
+	return nil
+}
+
+// PollOnce reads runtime/metrics and folds the readings into the
+// registered instruments: gauges are set, the GC-cycle counter and the
+// two latency histograms advance by the delta since the previous poll.
+// The first poll establishes the baseline, so cumulative pre-bridge
+// history is not misattributed to the bridge's lifetime.
+func (b *Bridge) PollOnce() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	metrics.Read(b.samples)
+	for i := range b.samples {
+		s := &b.samples[i]
+		switch s.Name {
+		case srcGoroutines:
+			if s.Value.Kind() == metrics.KindUint64 {
+				b.goroutines.Set(int64(s.Value.Uint64()))
+			}
+		case srcHeapLive:
+			if s.Value.Kind() == metrics.KindUint64 {
+				b.heapLive.Set(int64(s.Value.Uint64()))
+			}
+		case srcGCCycles:
+			if s.Value.Kind() == metrics.KindUint64 {
+				cur := s.Value.Uint64()
+				if b.havePrev && cur > b.prevCycles {
+					b.gcCycles.Add(int64(cur - b.prevCycles))
+				}
+				b.prevCycles = cur
+			}
+		case srcGCPause:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				b.prevPause = foldHistDelta(b.gcPause, b.prevPause, s.Value.Float64Histogram(), b.havePrev)
+			}
+		case srcSchedLat:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				b.prevSched = foldHistDelta(b.schedLat, b.prevSched, s.Value.Float64Histogram(), b.havePrev)
+			}
+		}
+	}
+	b.havePrev = true
+}
+
+// foldHistDelta adds the per-bucket count growth between prev and cur
+// (both cumulative runtime/metrics histograms over seconds) into dst
+// as nanosecond observations at the bucket midpoint, and returns a
+// copy of cur to keep as the next baseline. When baseline is false the
+// poll only establishes the baseline.
+func foldHistDelta(dst *obs.Histogram, prev, cur *metrics.Float64Histogram, baseline bool) *metrics.Float64Histogram {
+	if baseline && prev != nil && len(prev.Counts) == len(cur.Counts) {
+		for i, n := range cur.Counts {
+			d := n - prev.Counts[i]
+			if d == 0 || d > n { // d > n means the counter went backwards
+				continue
+			}
+			dst.ObserveN(bucketMidNs(cur.Buckets, i), d)
+		}
+	}
+	// Copy: runtime/metrics may reuse the backing arrays across reads.
+	keep := &metrics.Float64Histogram{
+		Counts:  append([]uint64(nil), cur.Counts...),
+		Buckets: append([]float64(nil), cur.Buckets...),
+	}
+	return keep
+}
+
+// bucketMidNs returns a representative nanosecond value for bucket i
+// of a runtime/metrics histogram (Buckets has len(Counts)+1 bounds;
+// the first/last may be infinite).
+func bucketMidNs(bounds []float64, i int) int64 {
+	lo, hi := bounds[i], bounds[i+1]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		lo = 0
+	case math.IsInf(hi, 1):
+		hi = lo * 2
+	}
+	mid := (lo + hi) / 2
+	if mid < 0 {
+		mid = 0
+	}
+	return int64(mid * float64(time.Second))
+}

@@ -1,0 +1,83 @@
+package runtimebridge
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"dvm/internal/obs"
+)
+
+func TestPollOncePopulatesFamilies(t *testing.T) {
+	r := obs.NewRegistry()
+	b := New(r)
+	b.PollOnce()
+	snap := r.Snapshot()
+	for _, fi := range Families() {
+		m, ok := snap.Get(fi.Name, "")
+		if !ok {
+			t.Fatalf("family %s not registered", fi.Name)
+		}
+		if m.Kind != fi.Kind {
+			t.Fatalf("family %s: kind %s, want %s", fi.Name, m.Kind, fi.Kind)
+		}
+	}
+	if m, _ := snap.Get(FamGoroutines, ""); m.Value < 1 {
+		t.Fatalf("go_goroutines = %d, want >= 1", m.Value)
+	}
+	if m, _ := snap.Get(FamHeapLive, ""); m.Value <= 0 {
+		t.Fatalf("go_heap_live_bytes = %d, want > 0", m.Value)
+	}
+}
+
+func TestDeltaFolding(t *testing.T) {
+	r := obs.NewRegistry()
+	b := New(r)
+	b.PollOnce() // baseline
+	// Force at least one GC cycle between polls.
+	runtime.GC()
+	runtime.GC()
+	b.PollOnce()
+	snap := r.Snapshot()
+	if m, _ := snap.Get(FamGCCycles, ""); m.Value < 1 {
+		t.Fatalf("go_gc_cycles = %d after two forced GCs, want >= 1", m.Value)
+	}
+	if m, _ := snap.Get(FamGCPause, ""); m.Count < 1 {
+		t.Fatalf("go_gc_pause_ns count = %d after forced GCs, want >= 1", m.Count)
+	}
+}
+
+func TestStartCloseDoesNotLeak(t *testing.T) {
+	r := obs.NewRegistry()
+	before := runtime.NumGoroutine()
+	b := New(r)
+	b.Start(time.Millisecond)
+	// The poller must be running now.
+	if n := runtime.NumGoroutine(); n <= before-1 {
+		t.Fatalf("goroutines after Start = %d, want > %d", n, before-1)
+	}
+	time.Sleep(5 * time.Millisecond) // let a few ticks land
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// Close waits for the goroutine, so the count must be back at (or
+	// below) the baseline; poll briefly to absorb unrelated runtime
+	// goroutines settling.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutine leak: %d after Close, %d before Start", n, before)
+	}
+}
+
+func TestCloseBeforeStart(t *testing.T) {
+	b := New(obs.NewRegistry())
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close on never-started bridge: %v", err)
+	}
+}

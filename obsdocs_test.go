@@ -6,8 +6,10 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"dvm"
+	"dvm/internal/obs"
 )
 
 // docFamilyRe extracts the metric family from one table row of the
@@ -46,8 +48,15 @@ func documentedFamilies(t *testing.T) map[string]bool {
 // documenting one that no longer exists, fails here.
 func TestObservabilityDocsMatchRegistry(t *testing.T) {
 	// Two shards so the workload also exercises the sharded maintenance
-	// path and its per-shard metric families.
-	eng := dvm.NewEngine(dvm.WithShards(2))
+	// path and its per-shard metric families; the runtime bridge (long
+	// interval — its synchronous first poll is all we need) adds the
+	// go_* families.
+	eng := dvm.NewEngine(dvm.WithShards(2), dvm.WithRuntimeBridge(time.Hour))
+	defer func() {
+		if err := eng.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
 	script := `
 CREATE TABLE sales (custId INT, itemNo INT, quantity INT, salesPrice FLOAT);
 CREATE MATERIALIZED VIEW hv REFRESH DEFERRED COMBINED AS
@@ -92,6 +101,37 @@ SELECT * FROM hv;
 	for fam := range documented {
 		if !emitted[fam] {
 			t.Errorf("docs/observability.md documents %q but the workload never emitted it", fam)
+		}
+	}
+
+	// The Prometheus exposition of the same registry must pass the
+	// strict format validator — this is the golden check for /metrics.
+	var prom bytes.Buffer
+	if err := obs.WriteProm(&prom, eng.Manager().Obs().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(prom.Bytes()); err != nil {
+		t.Errorf("exposition of the workload registry invalid: %v\n%s", err, prom.Bytes())
+	}
+}
+
+// TestPromHelpMatchesDocs pins the HELP text map (internal/obs/help.go)
+// to the documented families table, both directions: every documented
+// family has exposition HELP text and every HELP entry documents a
+// family that exists in the table. This keeps /metrics HELP lines and
+// docs/observability.md from drifting apart.
+func TestPromHelpMatchesDocs(t *testing.T) {
+	documented := documentedFamilies(t)
+	helped := map[string]bool{}
+	for _, fam := range obs.HelpFamilies() {
+		helped[fam] = true
+		if !documented[fam] {
+			t.Errorf("help.go has HELP text for %q but docs/observability.md does not document it", fam)
+		}
+	}
+	for fam := range documented {
+		if !helped[fam] {
+			t.Errorf("docs/observability.md documents %q but help.go has no HELP text for it", fam)
 		}
 	}
 }
