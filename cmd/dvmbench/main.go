@@ -68,6 +68,7 @@ func run() int {
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close() // the profile never started; the start error is what matters
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

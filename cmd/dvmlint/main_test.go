@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dvm/internal/lint"
 )
 
 // chdir moves the process into dir for the duration of the test.
@@ -134,14 +136,59 @@ func TestExitCodeLoadFailure(t *testing.T) {
 	}
 }
 
-// TestExitCodeBadFlags: unknown checks and unparseable flags exit 2.
+// TestExitCodeBadFlags: unknown checks and unparseable flags exit 2,
+// through both spellings of the selection flag.
 func TestExitCodeBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-checks", "no-such-check"}, &out, &errb); code != 2 {
 		t.Fatalf("unknown check exit = %d; want 2", code)
 	}
+	if code := run([]string{"-check=no-such-check"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown -check exit = %d; want 2", code)
+	}
 	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
 		t.Fatalf("bad flag exit = %d; want 2", code)
+	}
+}
+
+// TestListChecks: -list prints one "name  doc" line per registered
+// analyzer — the dataflow-layer quartet included — runs nothing, and
+// exits 0.
+func TestListChecks(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d (stderr %q); want 0", code, errb.String())
+	}
+	lines := strings.Count(strings.TrimRight(out.String(), "\n"), "\n") + 1
+	if lines != len(lint.All()) {
+		t.Fatalf("-list printed %d lines; want one per analyzer (%d)", lines, len(lint.All()))
+	}
+	for _, name := range []string{"closure-purity", "resource-lifecycle", "error-flow", "nilness", "dropped-error"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output misses %q", name)
+		}
+	}
+}
+
+// TestCheckSelection: -check narrows the run to the named analyzers —
+// a module with only a dropped-error finding is clean under
+// -check=nilness and dirty under -check=dropped-error.
+func TestCheckSelection(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"leaky.go": "package tmpmod\n\nimport \"os\"\n\nfunc F() {\n\tos.Remove(\"x\")\n}\n",
+	})
+	chdir(t, dir)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-check=nilness"}, &out, &errb); code != 0 {
+		t.Fatalf("-check=nilness exit = %d (stdout %q); want 0: the finding belongs to another analyzer", code, out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-check=dropped-error"}, &out, &errb); code != 1 {
+		t.Fatalf("-check=dropped-error exit = %d; want 1", code)
+	}
+	if !strings.Contains(out.String(), "[dropped-error]") {
+		t.Fatalf("selected run output = %q; want the dropped-error finding", out.String())
 	}
 }
 

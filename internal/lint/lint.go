@@ -53,6 +53,9 @@ type Config struct {
 	// DocPkgs are packages whose exported identifiers must all carry
 	// doc comments (the documentation-gated API surface).
 	DocPkgs []string
+	// AlgebraPkg is the delta-program compiler package; closure-purity
+	// checks every closure reachable from its Compile entry points.
+	AlgebraPkg string
 }
 
 // DefaultConfig returns the production configuration for this module.
@@ -101,6 +104,7 @@ func DefaultConfig() Config {
 			"dvm/internal/obs/trace",
 			"dvm/internal/txn",
 		},
+		AlgebraPkg: "dvm/internal/algebra",
 	}
 }
 
@@ -145,6 +149,15 @@ type Unit struct {
 
 	atomicOnce sync.Once
 	atomic     *atomicFacts
+
+	// Function-local dataflow memos (ssa.go): CFGs and def-use chains
+	// are shared by closure-purity, resource-lifecycle, error-flow, and
+	// nilness, so the first analyzer to touch a function builds its
+	// graph and the rest reuse it.
+	cfgMu      sync.Mutex
+	cfgMemo    map[*ast.FuncDecl]*funcCFG
+	litCfgMemo map[*ast.FuncLit]*funcCFG
+	duMemo     map[*ast.FuncDecl]*defUse
 }
 
 // Pass is one analyzer's view of one package.
@@ -238,6 +251,10 @@ func All() []*Analyzer {
 		analyzerSpanDiscipline,
 		analyzerPprofLabel,
 		analyzerDocComment,
+		analyzerClosurePurity,
+		analyzerResourceLifecycle,
+		analyzerErrorFlow,
+		analyzerNilness,
 	}
 }
 

@@ -123,6 +123,34 @@ var fixtureCases = []struct {
 			return c
 		},
 	},
+	{
+		dir:    "purity",
+		checks: "closure-purity",
+		cfg: func(c Config) Config {
+			c.AlgebraPkg = fixturePrefix + "purity"
+			c.BagPkg = fixturePrefix + "purity"
+			c.StoragePkg = fixturePrefix + "purity"
+			return c
+		},
+	},
+	{
+		dir:    "resource",
+		checks: "resource-lifecycle",
+		cfg: func(c Config) Config {
+			c.ObsPkg = fixturePrefix + "resource"
+			return c
+		},
+	},
+	{
+		dir:    "errflow",
+		checks: "error-flow",
+		cfg:    func(c Config) Config { return c },
+	},
+	{
+		dir:    "nilness",
+		checks: "nilness",
+		cfg:    func(c Config) Config { return c },
+	},
 }
 
 func TestFixtures(t *testing.T) {

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerNilness is branch-sensitive nil-deref detection built on the
+// dataflow layer: it tracks which local pointer variables are provably
+// nil at each program point — assigned the literal nil, declared
+// without an initializer, or on the wrong side of their own nil check
+// — and flags field accesses and explicit dereferences that must
+// panic. The paths it guards are the ones the engine's error handling
+// takes: a deref inside the `== nil` branch of a guard, or after an
+// early return was forgotten, exactly the refresh/propagate failure
+// paths (Figure 3) that run rarely enough for the panic to hide until
+// recovery needs them.
+//
+// The analysis is deliberately must-nil: a variable merged from a nil
+// path and a non-nil path is not flagged, method calls are not flagged
+// (many pointer receivers in this module are nil-safe by design —
+// *trace.Span in particular documents nil-receiver no-ops), and
+// variables whose address is taken or that are captured by a closure
+// are not tracked at all. What remains is the class of reports that is
+// wrong code on every execution that reaches it.
+var analyzerNilness = &Analyzer{
+	Name: "nilness",
+	Doc:  "branch-sensitive detection of dereferences of provably nil pointers",
+	Run:  runNilness,
+}
+
+func runNilness(p *Pass) {
+	eachScope(p, func(body *ast.BlockStmt, cfg *funcCFG) {
+		nf := &nilFlow{p: p, du: defUseOf(p.Pkg.Info, body)}
+		runForward(cfg, nf, func(n ast.Node, facts flowFacts) {
+			nf.checkDerefs(n, facts)
+		})
+	})
+}
+
+type nilFlow struct {
+	p  *Pass
+	du *defUse
+}
+
+// trackable reports whether obj is a pointer-typed local whose
+// flow-sensitive nil-state is sound to track: not address-taken and
+// not captured by a closure (either could change it behind the
+// analysis's back).
+func (nf *nilFlow) trackable(obj types.Object) bool {
+	if obj == nil || nf.du.escaped[obj] {
+		return false
+	}
+	_, isPtr := obj.Type().Underlying().(*types.Pointer)
+	return isPtr
+}
+
+func (nf *nilFlow) transfer(n ast.Node, facts flowFacts) {
+	info := nf.p.Pkg.Info
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			obj := localObj(info, lhs)
+			if !nf.trackable(obj) {
+				continue
+			}
+			if len(n.Lhs) != len(n.Rhs) {
+				facts[obj] = nIsNil | nNonNil // multi-value call or comma-ok
+				continue
+			}
+			facts[obj] = nf.rhsFact(n.Rhs[i], facts)
+		}
+	case *ast.ValueSpec:
+		for i, name := range n.Names {
+			obj := info.Defs[name]
+			if !nf.trackable(obj) {
+				continue
+			}
+			switch {
+			case len(n.Values) == 0:
+				facts[obj] = nIsNil // zero value of a pointer
+			case len(n.Values) == len(n.Names):
+				facts[obj] = nf.rhsFact(n.Values[i], facts)
+			default:
+				facts[obj] = nIsNil | nNonNil
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					nf.transfer(vs, facts)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if obj := localObj(info, e); nf.trackable(obj) {
+				facts[obj] = nIsNil | nNonNil
+			}
+		}
+	}
+}
+
+// rhsFact resolves an initializer to the nil-states it can produce,
+// propagating the current state of a copied tracked local.
+func (nf *nilFlow) rhsFact(e ast.Expr, facts flowFacts) fact {
+	v := nf.classify(e)
+	if v != 0 {
+		return v
+	}
+	if src := localObj(nf.p.Pkg.Info, e); src != nil {
+		if sv, tracked := facts[src]; tracked {
+			return sv
+		}
+	}
+	return nIsNil | nNonNil
+}
+
+// classify maps an initializer expression to the nil-states it can
+// produce; 0 is the copied-local sentinel resolved by rhsFact.
+func (nf *nilFlow) classify(e ast.Expr) fact {
+	e = ast.Unparen(e)
+	info := nf.p.Pkg.Info
+	if isNilIdent(info, e) {
+		return nIsNil
+	}
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			return nNonNil
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && info.Uses[id] == types.Universe.Lookup("new") {
+			return nNonNil
+		}
+	case *ast.Ident:
+		// Copying another tracked local copies its current state.
+		if obj := info.Uses[e]; nf.trackable(obj) {
+			return 0 // sentinel: caller-side lookup below
+		}
+	}
+	return nIsNil | nNonNil
+}
+
+func (nf *nilFlow) refine(cond ast.Expr, truth bool, facts flowFacts) {
+	obj, isNil, ok := nilCompare(nf.p.Pkg.Info, cond)
+	if !ok || !nf.trackable(obj) {
+		return
+	}
+	mask := nNonNil
+	if (truth && isNil) || (!truth && !isNil) {
+		mask = nIsNil
+	}
+	v, tracked := facts[obj]
+	if !tracked || v&mask == 0 {
+		facts[obj] = mask
+		return
+	}
+	facts[obj] = v & mask
+}
+
+// checkDerefs scans one CFG node for dereferences of must-nil locals:
+// field selections through the pointer and explicit *p reads. Nested
+// function literals are skipped — they are their own scope, and any
+// variable they capture is untracked here anyway.
+func (nf *nilFlow) checkDerefs(n ast.Node, facts flowFacts) {
+	info := nf.p.Pkg.Info
+	reported := map[types.Object]bool{}
+	flag := func(id *ast.Ident) {
+		obj := info.Uses[id]
+		if obj == nil || reported[obj] {
+			return
+		}
+		if v, tracked := facts[obj]; tracked && v == nIsNil {
+			reported[obj] = true
+			nf.p.Reportf(id.Pos(), "nil dereference: %s is nil on every path reaching this use", id.Name)
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			// A field selection through a nil pointer panics; a method
+			// value/call may be a nil-safe receiver, so only flag when the
+			// selection resolves to a field.
+			if sel := info.Selections[m]; sel != nil && sel.Kind() == types.FieldVal {
+				if id, ok := ast.Unparen(m.X).(*ast.Ident); ok {
+					flag(id)
+				}
+			}
+		case *ast.StarExpr:
+			if id, ok := ast.Unparen(m.X).(*ast.Ident); ok {
+				flag(id)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,129 @@
+// Package dataflow is the fixture for ssa_test.go and
+// dataflow_test.go: small functions whose CFG shape, def-use chains,
+// and forward-analysis facts the tests pin down — branch joins,
+// loops, defer ordering, closure captures, variadic and range cases.
+package dataflow
+
+import "os"
+
+// BranchJoin assigns x on one arm only: the join at the return must
+// union nil and non-nil.
+func BranchJoin(b bool) *int {
+	var x *int
+	if b {
+		x = new(int)
+	}
+	return x
+}
+
+// Guarded refines x to non-nil inside the guard.
+func Guarded(x *int) int {
+	if x != nil {
+		return *x
+	}
+	return 0
+}
+
+// Loop rebinds p in the body: the back edge must re-propagate facts
+// until the head stabilizes on the union of nil (zero iterations) and
+// non-nil (the body ran).
+func Loop(n int) *int {
+	var p *int
+	for i := 0; i < n; i++ {
+		p = new(int)
+	}
+	return p
+}
+
+// DeferOrder has no explicit return: the CFG must synthesize one so
+// every normal exit is a ReturnStmt, with both defers upstream of it.
+func DeferOrder(f func()) {
+	defer f()
+	defer f()
+	f()
+}
+
+// Capture writes y from a closure: def-use must mark y escaped.
+func Capture() int {
+	y := 1
+	inc := func() { y++ }
+	inc()
+	return y
+}
+
+// AddrTaken leaks z's address: def-use must mark z escaped.
+func AddrTaken() int {
+	z := 2
+	p := &z
+	*p = 3
+	return z
+}
+
+// Plain never escapes its locals.
+func Plain(a int) int {
+	b := a + 1
+	c := b * 2
+	return c
+}
+
+// Variadic ranges over its variadic tail.
+func Variadic(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// RangeNil refines the ranged-out element before dereferencing it.
+func RangeNil(ps []*int) int {
+	s := 0
+	for _, p := range ps {
+		if p != nil {
+			s += *p
+		}
+	}
+	return s
+}
+
+// Terminates ends one branch in panic and another in os.Exit: neither
+// block may have successors.
+func Terminates(b bool) int {
+	if b {
+		panic("no")
+	}
+	if !b {
+		os.Exit(2)
+	}
+	return 1
+}
+
+// SwitchFacts proves tagless-switch edges are branch-sensitive.
+func SwitchFacts(p *int) int {
+	switch {
+	case p == nil:
+		return 0
+	default:
+		return *p
+	}
+}
+
+// Conds enumerates the guard shapes nilCompare must decompose.
+func Conds(p *int, q *int, b bool) int {
+	if p == nil {
+		return 0
+	}
+	if nil != q {
+		return 1
+	}
+	if !(p != nil) {
+		return 2
+	}
+	if b {
+		return 3
+	}
+	if p == q {
+		return 4
+	}
+	return 5
+}

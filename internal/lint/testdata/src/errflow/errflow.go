@@ -1,0 +1,134 @@
+// Package errflow is a dvmlint fixture for the error-flow analyzer:
+// blank discards of Write/Sync/Flush/Close errors on persistence
+// paths, and the branch-sensitive already-failing-path exemption.
+package errflow
+
+import (
+	"os"
+	"strings"
+)
+
+// DiscardClose blank-discards a Close error on a clean path.
+func DiscardClose(f *os.File) {
+	_ = f.Close() // want: error-flow
+}
+
+// DiscardWrite blank-discards a Write error (two results).
+func DiscardWrite(f *os.File, b []byte) {
+	_, _ = f.Write(b) // want: error-flow
+}
+
+// DiscardSync blank-discards a Sync error.
+func DiscardSync(f *os.File) {
+	_ = f.Sync() // want: error-flow
+}
+
+// CleanupExempt discards the Close error only after the write already
+// failed: the in-flight error is the one that matters.
+func CleanupExempt(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		_ = f.Close() // exempt: err is non-nil on this path
+		return err
+	}
+	return f.Close()
+}
+
+// CleanupExemptCapture shows the exemption working on an error
+// variable the branch merely refines (a parameter, no local binding).
+func CleanupExemptCapture(f *os.File, err error) error {
+	if err != nil {
+		_ = f.Close() // exempt: cleanup under the caller's failure
+		return err
+	}
+	return f.Close()
+}
+
+// WrongBranch discards on the SUCCESS branch, where the error is
+// provably nil and the Close error is the only signal left.
+func WrongBranch(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err == nil {
+		_ = f.Close() // want: error-flow (err is nil here)
+		return nil
+	}
+	return f.Close()
+}
+
+// DeferredDiscard hides the discard inside a deferred cleanup literal
+// — dropped-error's blind spot, flagged here.
+func DeferredDiscard(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = f.Close() // want: error-flow
+	}()
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+// FoldIdiom is the sanctioned shape: the close error folds into the
+// return value.
+func FoldIdiom(f *os.File, b []byte) error {
+	_, werr := f.Write(b)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// BuilderExempt discards a strings.Builder error, unobservable by
+// construction.
+func BuilderExempt(sb *strings.Builder) {
+	_, _ = sb.WriteString("x")
+	_, _ = sb.Write([]byte("y"))
+}
+
+// SaveShape mirrors the dvmsh save path: a closure, flag-gated, with
+// terminating exits.
+func SaveShape(save string, saveTo func(*os.File) error) func(int) {
+	return func(code int) {
+		if save != "" {
+			f, err := os.Create(save)
+			if err != nil {
+				os.Exit(1)
+			}
+			if err := saveTo(f); err != nil {
+				_ = f.Close() // exempt: save already failed
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				os.Exit(1)
+			}
+		}
+		os.Exit(code)
+	}
+}
+
+// SaveShapeFlat is SaveShape without the closure.
+func SaveShapeFlat(save string, saveTo func(*os.File) error) {
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			os.Exit(1)
+		}
+		if err := saveTo(f); err != nil {
+			_ = f.Close() // exempt: save already failed
+			os.Exit(1)
+		}
+	}
+}
+
+// SaveShapeNoExit is SaveShape with returns instead of exits.
+func SaveShapeNoExit(save string, saveTo func(*os.File) error) {
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return
+		}
+		if err := saveTo(f); err != nil {
+			_ = f.Close() // exempt: save already failed
+			return
+		}
+	}
+}

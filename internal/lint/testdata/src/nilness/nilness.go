@@ -1,0 +1,131 @@
+// Package nilness is a dvmlint fixture for the nilness analyzer:
+// must-nil dereferences on guard branches, zero-value declarations,
+// and copies — and the may-nil / escaped cases that stay silent.
+package nilness
+
+type node struct {
+	val  int
+	next *node
+}
+
+// DerefInNilBranch dereferences inside its own == nil branch.
+func DerefInNilBranch(n *node) int {
+	if n == nil {
+		return n.val // want nilness
+	}
+	return n.val
+}
+
+// ZeroValueDeref dereferences a pointer declared without an
+// initializer.
+func ZeroValueDeref() int {
+	var p *node
+	return p.val // want nilness
+}
+
+// ExplicitStar dereferences *p on the wrong side of its own guard.
+func ExplicitStar(p *int) int {
+	if p != nil {
+		return *p
+	}
+	return *p // want nilness
+}
+
+// CopiedNil: q copies n's must-nil state.
+func CopiedNil(n *node) int {
+	if n != nil {
+		return n.val
+	}
+	q := n
+	return q.val // want nilness
+}
+
+// GuardedOK is clean: the guard returns before the deref.
+func GuardedOK(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.val
+}
+
+// Reassigned is clean: the nil branch rebinds before falling through.
+func Reassigned(n *node) int {
+	if n == nil {
+		n = &node{}
+	}
+	return n.val
+}
+
+// MergeMayNil is clean: a merge of a nil path and a non-nil path is
+// may-nil, and the analysis is must-nil only.
+func MergeMayNil(b bool) int {
+	var p *node
+	if b {
+		p = &node{val: 1}
+	}
+	if p != nil {
+		return p.val
+	}
+	return 0
+}
+
+// MethodOnNil is clean by design: pointer receivers in this module
+// are often nil-safe (trace.Span documents it), so method calls are
+// never flagged.
+func MethodOnNil(n *node) int {
+	if n == nil {
+		return n.depth()
+	}
+	return 0
+}
+
+func (n *node) depth() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.next.depth()
+}
+
+// AddressTaken is clean: once p's address escapes, its nil-state is
+// untracked.
+func AddressTaken() int {
+	var p *node
+	reset(&p)
+	return p.val
+}
+
+func reset(pp **node) { *pp = &node{} }
+
+// CapturedByClosure is clean: the closure may rebind p behind the
+// analysis's back, so p is untracked.
+func CapturedByClosure() int {
+	var p *node
+	fill := func() { p = &node{val: 3} }
+	fill()
+	return p.val
+}
+
+// LoopCarry is clean: last is nil only before the first iteration,
+// and the guard carves that out.
+func LoopCarry(ns []*node) int {
+	var last *node
+	sum := 0
+	for _, n := range ns {
+		if last != nil {
+			sum += last.val
+		}
+		last = n
+	}
+	return sum
+}
+
+// SwitchNil dereferences in the tagless-switch case that proved the
+// pointer nil.
+func SwitchNil(p *int) int {
+	switch {
+	case p == nil:
+		return *p // want nilness
+	default:
+		return *p
+	}
+}

@@ -1,0 +1,13 @@
+// Package runtimebridge is the fixture stand-in for the repo's
+// runtime-metrics poller (the Config.ObsPkg + "/runtimebridge"
+// contract row): New acquires a poller, Close releases it.
+package runtimebridge
+
+// Poller is the fixture poller handle.
+type Poller struct{ done chan struct{} }
+
+// New starts a poller the caller must Close.
+func New() *Poller { return &Poller{done: make(chan struct{})} }
+
+// Close stops the poller.
+func (p *Poller) Close() { close(p.done) }

@@ -44,7 +44,9 @@ func Handler(t *Tracer) http.Handler {
 			}
 			if q.Get("format") == "text" {
 				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-				_, _ = w.Write([]byte(Render(tr)))
+				if _, err := w.Write([]byte(Render(tr))); err != nil {
+					return // client went away; nothing useful left to send
+				}
 				return
 			}
 			writeJSON(w, tr)
